@@ -1,0 +1,132 @@
+// Command dnsbld serves an uncleanliness-derived block list over DNS in
+// the DNSBL convention (query d.c.b.a.<zone>, get 127.0.0.x if listed) —
+// the operational delivery mechanism the paper's §2 cites (Spamhaus ZEN).
+//
+// The list is generated from a simulated world's reports via the
+// multidimensional scorer, then served until interrupted. Query it with
+// any DNS client, e.g.:
+//
+//	dnsbld -listen 127.0.0.1:5354 -scale 500 &
+//	dig @127.0.0.1 -p 5354 2.1.1.10.bl.unclean.example A
+//
+// Usage:
+//
+//	dnsbld [-listen ADDR] [-zone bl.unclean.example] [-threshold 0.6]
+//	       [-scale N] [-seed N] [-selfcheck N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"unclean/internal/blocklist"
+	"unclean/internal/core"
+	"unclean/internal/dnsbl"
+	"unclean/internal/experiments"
+	"unclean/internal/netaddr"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsbld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dnsbld", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:5354", "UDP listen address")
+	zone := fs.String("zone", "bl.unclean.example", "DNSBL zone")
+	threshold := fs.Float64("threshold", 0.6, "aggregate score threshold for listing")
+	scaleDen := fs.Float64("scale", 500, "scale denominator for the generated world")
+	seed := fs.Uint64("seed", 20061001, "world seed")
+	selfcheck := fs.Int("selfcheck", 3, "after startup, query this many listed blocks and exit (0 = serve forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scaleDen < 1 {
+		return fmt.Errorf("-scale must be >= 1")
+	}
+
+	cfg := experiments.Default()
+	cfg.Scale = 1 / *scaleDen
+	cfg.Seed = *seed
+	cfg.Draws = 1 // no estimates needed; only reports
+	fmt.Fprintf(os.Stderr, "generating world at scale 1/%.0f...\n", *scaleDen)
+	ds, err := experiments.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	scorer, err := core.NewScorer(24, 4)
+	if err != nil {
+		return err
+	}
+	scorer.AddReport(core.DimBot, ds.Report("bot").Addrs, 1)
+	scorer.AddReport(core.DimScan, ds.Report("scan").Addrs, 1)
+	scorer.AddReport(core.DimSpam, ds.Report("spam").Addrs, 1)
+	scorer.AddReport(core.DimPhish, ds.Report("phish").Addrs, 1)
+
+	// Compile per-dimension reasons so queriers see why a block listed.
+	list := &blocklist.Trie{}
+	for _, sb := range scorer.Rank(scorer.BlockCount()) {
+		if sb.Score.Aggregate < *threshold {
+			break
+		}
+		reason := "unclean"
+		best := 0.0
+		for d := core.DimBot; d <= core.DimPhish; d++ {
+			if v := sb.Score.ByDim[d]; v > best {
+				best = v
+				reason = d.String()
+			}
+		}
+		list.Insert(sb.Block, reason)
+	}
+	fmt.Printf("serving %d listed /24s in zone %s on %s (threshold %.2f)\n",
+		list.Len(), *zone, *listen, *threshold)
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	srv, err := dnsbl.NewServer(*zone, list, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(conn) }()
+
+	if *selfcheck > 0 {
+		// Demonstration mode: query a few listed blocks through the real
+		// UDP path and exit.
+		time.Sleep(50 * time.Millisecond)
+		checked := 0
+		var firstErr error
+		list.Walk(func(e blocklist.Entry) bool {
+			if checked >= *selfcheck {
+				return false
+			}
+			probe := e.Block.Base() + netaddr.Addr(9)
+			listed, code, err := dnsbl.Lookup(conn.LocalAddr().String(), *zone, probe, 2*time.Second)
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			fmt.Printf("selfcheck: %s -> listed=%v code=%s (%s)\n", probe, listed, code, e.Reason)
+			checked++
+			return true
+		})
+		if firstErr != nil {
+			return firstErr
+		}
+		queries, hits := srv.Stats()
+		fmt.Printf("selfcheck complete: %d queries served, %d listed\n", queries, hits)
+		return nil
+	}
+	return <-serveErr
+}

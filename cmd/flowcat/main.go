@@ -1,0 +1,113 @@
+// Command flowcat dumps and filters NetFlow V5 archives as written by
+// uncleanctl reports (and any other tool using the netflow package).
+//
+// Usage:
+//
+//	flowcat [-src CIDR] [-dst CIDR] [-proto N] [-payload] [-count] FILE...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowcat:", err)
+		os.Exit(1)
+	}
+}
+
+type filter struct {
+	src, dst    *netaddr.Block
+	proto       int
+	payloadOnly bool
+}
+
+func (f *filter) match(r *netflow.Record) bool {
+	if f.src != nil && !f.src.Contains(r.SrcAddr) {
+		return false
+	}
+	if f.dst != nil && !f.dst.Contains(r.DstAddr) {
+		return false
+	}
+	if f.proto >= 0 && int(r.Proto) != f.proto {
+		return false
+	}
+	if f.payloadOnly && !r.PayloadBearing() {
+		return false
+	}
+	return true
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flowcat", flag.ContinueOnError)
+	srcStr := fs.String("src", "", "only flows whose source is inside this CIDR")
+	dstStr := fs.String("dst", "", "only flows whose destination is inside this CIDR")
+	proto := fs.Int("proto", -1, "only flows with this IP protocol (6=TCP, 17=UDP)")
+	payload := fs.Bool("payload", false, "only payload-bearing flows")
+	count := fs.Bool("count", false, "print only the matching record count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no input files")
+	}
+	var f filter
+	f.proto = *proto
+	f.payloadOnly = *payload
+	if *srcStr != "" {
+		b, err := netaddr.ParseBlock(*srcStr)
+		if err != nil {
+			return err
+		}
+		f.src = &b
+	}
+	if *dstStr != "" {
+		b, err := netaddr.ParseBlock(*dstStr)
+		if err != nil {
+			return err
+		}
+		f.dst = &b
+	}
+	matched := 0
+	for _, path := range fs.Args() {
+		if err := catFile(path, &f, *count, &matched, out); err != nil {
+			return err
+		}
+	}
+	if *count {
+		fmt.Fprintln(out, matched)
+	}
+	return nil
+}
+
+func catFile(path string, f *filter, countOnly bool, matched *int, out io.Writer) error {
+	file, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	r := netflow.NewReader(file)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if !f.match(&rec) {
+			continue
+		}
+		*matched++
+		if !countOnly {
+			fmt.Fprintln(out, rec.String())
+		}
+	}
+}

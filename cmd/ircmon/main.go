@@ -1,0 +1,111 @@
+// Command ircmon demonstrates the bot-report collection path end to end
+// over real TCP: it starts the in-process IRC C&C server, connects the
+// channel monitor, drives a fleet of simulated drones through it, and
+// prints the harvested bot report.
+//
+// Usage:
+//
+//	ircmon [-listen 127.0.0.1:0] [-bots 25] [-channel "#owned"] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"unclean/internal/botmonitor"
+	"unclean/internal/netaddr"
+	"unclean/internal/report"
+	"unclean/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ircmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ircmon", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "C&C listen address")
+	bots := fs.Int("bots", 25, "number of drones to drive through the channel")
+	channel := fs.String("channel", "#owned", "C&C channel to monitor")
+	seed := fs.Uint64("seed", 7, "seed for drone addresses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bots < 1 {
+		return fmt.Errorf("-bots must be positive")
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	srv := botmonitor.NewServer("cc.unclean.example")
+	go srv.Serve(l) //nolint:errcheck // exits when the listener closes
+	defer srv.Close()
+	fmt.Printf("C&C server listening on %s, channel %s\n", l.Addr(), *channel)
+
+	mon := botmonitor.NewMonitor(*channel)
+	done := make(chan struct{})
+	monConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return err
+	}
+	watchErr := make(chan error, 1)
+	go func() { watchErr <- botmonitor.WatchChannel(monConn, "observer", *channel, mon, done) }()
+	time.Sleep(100 * time.Millisecond) // let the observer join
+
+	rng := stats.NewRNG(*seed)
+	for i := 0; i < *bots; i++ {
+		addr := netaddr.Addr(rng.Uint32())
+		for netaddr.IsReserved(addr) {
+			addr = netaddr.Addr(rng.Uint32())
+		}
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return err
+		}
+		bot := &botmonitor.Bot{
+			Nick:    fmt.Sprintf("drone%03d", i),
+			Addr:    addr,
+			Channel: *channel,
+			Reports: []string{
+				fmt.Sprintf("[SCAN]: exploited %s", netaddr.Addr(rng.Uint32())),
+			},
+		}
+		if err := bot.Run(conn); err != nil {
+			return fmt.Errorf("drone %d: %w", i, err)
+		}
+	}
+
+	// Wait until the monitor has seen every drone (or time out).
+	deadline := time.Now().Add(10 * time.Second)
+	for mon.BotAddrs().Len() < *bots && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(done)
+	if err := <-watchErr; err != nil {
+		return err
+	}
+
+	lines, malformed := mon.Stats()
+	fmt.Printf("monitor consumed %d lines (%d malformed)\n", lines, malformed)
+	rep := &report.Report{
+		Tag:    "ircmon",
+		Type:   report.Provided,
+		Class:  report.ClassBots,
+		Method: "Bot addresses harvested from C&C channel monitoring",
+		Addrs:  mon.BotAddrs(),
+	}
+	rep.ValidFrom = time.Now().UTC().Truncate(24 * time.Hour)
+	rep.ValidTo = rep.ValidFrom
+	fmt.Printf("harvested %d bot addresses, %d reported victims\n\n",
+		mon.BotAddrs().Len(), mon.ReportedAddrs().Len())
+	return rep.Write(os.Stdout)
+}

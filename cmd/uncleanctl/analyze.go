@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"unclean/internal/core"
+	"unclean/internal/ipset"
+	"unclean/internal/report"
+	"unclean/internal/stats"
+)
+
+// cmdAnalyze runs the uncleanliness hypothesis tests over report files on
+// disk (as written by `uncleanctl reports` — or by any producer of the
+// report format), so the analyses are usable on data that did not come
+// from the simulator.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	dir := fs.String("reports", "", "directory of .report files (required)")
+	mode := fs.String("mode", "spatial", "analysis: spatial | temporal")
+	tag := fs.String("report", "", "spatial: tag of the unclean report")
+	past := fs.String("past", "", "temporal: tag of the past report")
+	present := fs.String("present", "", "temporal: tag of the present report")
+	controlTag := fs.String("control", "control", "tag of the control report")
+	draws := fs.Int("draws", 1000, "control subsets per estimate")
+	threshold := fs.Float64("threshold", 0.95, "better-predictor criterion")
+	lo := fs.Int("lo", 16, "shortest prefix length")
+	hi := fs.Int("hi", 32, "longest prefix length")
+	seed := fs.Uint64("seed", 1, "random seed for control draws")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("analyze: -reports is required")
+	}
+	inv, err := report.LoadDir(*dir)
+	if err != nil {
+		return err
+	}
+	get := func(tag string) (ipset.Set, error) {
+		if tag == "" {
+			return ipset.Set{}, fmt.Errorf("analyze: missing report tag for mode %q", *mode)
+		}
+		r := inv.Get(tag)
+		if r == nil {
+			return ipset.Set{}, fmt.Errorf("analyze: no report tagged %q in %s", tag, *dir)
+		}
+		return r.Addrs, nil
+	}
+	control, err := get(*controlTag)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(*seed)
+	pr := core.PrefixRange{Lo: *lo, Hi: *hi}
+
+	switch *mode {
+	case "spatial":
+		addrs, err := get(*tag)
+		if err != nil {
+			return err
+		}
+		res, err := core.SpatialDensity(addrs, control, ipset.Set{}, *draws, pr, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spatial uncleanliness of R_%s vs R_%s (%d draws)\n\n", *tag, *controlTag, *draws)
+		fmt.Printf("%-8s %12s %16s %12s\n", "prefix", "observed", "control median", "P(denser)")
+		for _, row := range res.Rows {
+			fmt.Printf("/%-7d %12d %16.0f %12.3f\n", row.Bits, row.Observed, row.Control.Median, row.FractionDenser)
+		}
+		fmt.Printf("\nEq. 3 holds: %v\n", res.Holds)
+	case "temporal":
+		pastSet, err := get(*past)
+		if err != nil {
+			return err
+		}
+		presentSet, err := get(*present)
+		if err != nil {
+			return err
+		}
+		res, err := core.PredictiveCapacity(pastSet, presentSet, control, *draws, *threshold, pr, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("temporal uncleanliness: R_%s -> R_%s vs R_%s (%d draws, %.0f%% criterion)\n\n",
+			*past, *present, *controlTag, *draws, 100**threshold)
+		fmt.Printf("%-8s %12s %16s %14s %7s\n", "prefix", "observed ∩", "control median", "P(beat)", "better")
+		for _, row := range res.Rows {
+			mark := ""
+			if row.Better {
+				mark = "*"
+			}
+			fmt.Printf("/%-7d %12d %16.0f %14.3f %7s\n", row.Bits, row.Observed, row.Control.Median, row.FractionBeaten, mark)
+		}
+		band := "none"
+		if res.Holds {
+			band = fmt.Sprintf("/%d../%d", res.BandLo, res.BandHi)
+		}
+		fmt.Printf("\nEq. 5 holds: %v (better band %s)\n", res.Holds, band)
+	default:
+		return fmt.Errorf("analyze: unknown mode %q", *mode)
+	}
+	return nil
+}

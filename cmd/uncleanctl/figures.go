@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"unclean/internal/experiments"
+)
+
+// cmdFigures renders the paper's figures as SVG files.
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	scaleDen, seed, draws, benign := commonFlags(fs)
+	out := fs.String("out", "", "output directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("figures: -out is required")
+	}
+	cfg, err := configFrom(*scaleDen, *seed, *draws, *benign)
+	if err != nil {
+		return err
+	}
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return err
+	}
+	paths, err := experiments.WriteSVGs(ds, *out)
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
+	return err
+}

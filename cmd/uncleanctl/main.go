@@ -1,0 +1,260 @@
+// Command uncleanctl is the reproduction driver: it generates the
+// measurement world, derives the Table 1 reports through the detector
+// pipeline, and regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	uncleanctl list
+//	uncleanctl run [-exp all|table1|fig1|...] [-scale N] [-seed N] [-draws N]
+//	uncleanctl reports -out DIR [-scale N] [-seed N]
+//	uncleanctl score [-scale N] [-seed N] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"unclean/internal/core"
+	"unclean/internal/experiments"
+	"unclean/internal/netflow"
+	"unclean/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "uncleanctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no command")
+	}
+	switch args[0] {
+	case "list":
+		fmt.Println("experiments (paper artifact -> id):")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return nil
+	case "run":
+		return cmdRun(args[1:])
+	case "reports":
+		return cmdReports(args[1:])
+	case "score":
+		return cmdScore(args[1:])
+	case "track":
+		return cmdTrack(args[1:])
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "inspect":
+		return cmdInspect(args[1:])
+	case "figures":
+		return cmdFigures(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown command %q", args[0])
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `uncleanctl — reproduce "Using uncleanliness to predict future botnet addresses" (IMC 2007)
+
+commands:
+  list                  list experiment ids
+  run     [flags]       run experiments and print the tables/figures
+  reports [flags]       generate and write the Table 1 reports + artifacts
+  score   [flags]       rank networks by multidimensional uncleanliness
+  track   [flags]       stream weekly reports through the decaying tracker
+                        and compare its blocklist against a static one
+  analyze [flags]       run the spatial/temporal tests over .report files
+                        on disk (see: uncleanctl reports)
+  inspect [flags]       coordinated-activity view of one network's traffic
+  figures -out DIR      render every figure (and the Table 3 sweep) as SVG
+
+common flags: -scale (denominator: 64 means 1/64 of paper scale), -seed, -draws
+`)
+}
+
+func commonFlags(fs *flag.FlagSet) (scaleDen *float64, seed *uint64, draws *int, benign *int) {
+	scaleDen = fs.Float64("scale", 64, "scale denominator: N means 1/N of the paper's data scale")
+	seed = fs.Uint64("seed", 20061001, "random seed")
+	draws = fs.Int("draws", 1000, "control subsets per estimate (paper: 1000)")
+	benign = fs.Int("benign", 400, "benign sources per day in synthesized traffic")
+	return
+}
+
+func configFrom(scaleDen float64, seed uint64, draws, benign int) (experiments.Config, error) {
+	if scaleDen < 1 {
+		return experiments.Config{}, fmt.Errorf("-scale must be >= 1 (got %v)", scaleDen)
+	}
+	cfg := experiments.Default()
+	cfg.Scale = 1 / scaleDen
+	cfg.Seed = seed
+	cfg.Draws = draws
+	cfg.BenignPerDay = benign
+	return cfg, cfg.Validate()
+}
+
+func buildDataset(cfg experiments.Config) (*experiments.Dataset, error) {
+	fmt.Fprintf(os.Stderr, "building world at scale 1/%.0f (seed %d)...\n", 1/cfg.Scale, cfg.Seed)
+	start := time.Now()
+	ds, err := experiments.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "world ready in %v: %d networks, %d episodes, %d flows\n",
+		time.Since(start).Round(time.Millisecond),
+		ds.World.Model.NetworkCount(), ds.World.EpisodeCount(), len(ds.Flows))
+	return ds, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scaleDen, seed, draws, benign := commonFlags(fs)
+	exp := fs.String("exp", "all", "experiment id or 'all'")
+	format := fs.String("format", "text", "output format: text | csv (csv only for figures/table3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("run: unknown format %q", *format)
+	}
+	cfg, err := configFrom(*scaleDen, *seed, *draws, *benign)
+	if err != nil {
+		return err
+	}
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return err
+	}
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(ds, strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			c, ok := res.(experiments.CSVer)
+			if !ok {
+				return fmt.Errorf("run: experiment %s has no CSV form", res.ID())
+			}
+			fmt.Printf("# %s: %s\n%s", res.ID(), res.Title(), c.CSV())
+			continue
+		}
+		fmt.Printf("==== %s ====\n%s\n\n%s\n", res.ID(), res.Title(), res.Render())
+	}
+	return nil
+}
+
+func cmdReports(args []string) error {
+	fs := flag.NewFlagSet("reports", flag.ContinueOnError)
+	scaleDen, seed, draws, benign := commonFlags(fs)
+	out := fs.String("out", "", "output directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("reports: -out is required")
+	}
+	cfg, err := configFrom(*scaleDen, *seed, *draws, *benign)
+	if err != nil {
+		return err
+	}
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return err
+	}
+	if err := ds.Inventory.SaveDir(*out); err != nil {
+		return err
+	}
+	for _, rep := range ds.Inventory.Reports {
+		fmt.Printf("wrote %s (%d addresses)\n", filepath.Join(*out, rep.Tag+report.Ext), rep.Size())
+	}
+	// Phishing feed.
+	feedPath := filepath.Join(*out, "phish.feed")
+	f, err := os.Create(feedPath)
+	if err != nil {
+		return err
+	}
+	if err := ds.World.PhishFeed().Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d incidents)\n", feedPath, ds.World.PhishFeed().Len())
+	// NetFlow archive of the unclean window.
+	flowPath := filepath.Join(*out, "october.nf5")
+	nf, err := os.Create(flowPath)
+	if err != nil {
+		return err
+	}
+	w := netflow.NewWriter(nf, experiments.UncleanFrom)
+	for i := range ds.Flows {
+		if err := w.Write(ds.Flows[i]); err != nil {
+			nf.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d flow records)\n", flowPath, len(ds.Flows))
+	return nil
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ContinueOnError)
+	scaleDen, seed, draws, benign := commonFlags(fs)
+	top := fs.Int("top", 20, "networks to list")
+	bits := fs.Int("bits", 24, "scoring prefix length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := configFrom(*scaleDen, *seed, *draws, *benign)
+	if err != nil {
+		return err
+	}
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return err
+	}
+	scorer, err := core.NewScorer(*bits, 4)
+	if err != nil {
+		return err
+	}
+	scorer.AddReport(core.DimBot, ds.Report("bot").Addrs, 1)
+	scorer.AddReport(core.DimScan, ds.Report("scan").Addrs, 1)
+	scorer.AddReport(core.DimSpam, ds.Report("spam").Addrs, 1)
+	scorer.AddReport(core.DimPhish, ds.Report("phish").Addrs, 1)
+	fmt.Printf("top %d unclean /%d networks (of %d with evidence):\n\n", *top, *bits, scorer.BlockCount())
+	fmt.Printf("%-20s %9s %7s %7s %7s %7s  ground truth u\n", "block", "aggregate", "bot", "scan", "spam", "phish")
+	for _, sb := range scorer.Rank(*top) {
+		truth := "-"
+		if n, ok := ds.World.Model.FindNetwork(sb.Block.Base()); ok {
+			truth = fmt.Sprintf("%.2f (%s)", n.Unclean, n.Profile)
+		}
+		fmt.Printf("%-20s %9.3f %7.2f %7.2f %7.2f %7.2f  %s\n",
+			sb.Block, sb.Score.Aggregate,
+			sb.Score.ByDim[core.DimBot], sb.Score.ByDim[core.DimScan],
+			sb.Score.ByDim[core.DimSpam], sb.Score.ByDim[core.DimPhish], truth)
+	}
+	return nil
+}

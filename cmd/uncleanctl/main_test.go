@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestConfigFrom(t *testing.T) {
+	cfg, err := configFrom(64, 7, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scale != 1.0/64 || cfg.Seed != 7 || cfg.Draws != 100 || cfg.BenignPerDay != 50 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, err := configFrom(0.5, 7, 100, 50); err == nil {
+		t.Error("scale denominator < 1 accepted")
+	}
+	if _, err := configFrom(64, 7, 0, 50); err == nil {
+		t.Error("zero draws accepted")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+	if err := run(nil); err == nil {
+		t.Error("no command accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"reports"}); err == nil {
+		t.Error("reports without -out accepted")
+	}
+	if err := run([]string{"analyze"}); err == nil {
+		t.Error("analyze without -reports accepted")
+	}
+	if err := run([]string{"inspect"}); err == nil {
+		t.Error("inspect without -addr accepted")
+	}
+	if err := run([]string{"run", "-format", "yaml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

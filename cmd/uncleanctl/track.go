@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"unclean/internal/experiments"
+)
+
+// cmdTrack runs the §7 future-work experiment (experiments.Tracker):
+// stream weekly ground-truth reports through the time-decaying
+// multidimensional tracker, emit blocklists from its scores, and score
+// them against the October candidate traffic alongside the paper's
+// static bot-test /24 list.
+func cmdTrack(args []string) error {
+	fs := flag.NewFlagSet("track", flag.ContinueOnError)
+	scaleDen, seed, draws, benign := commonFlags(fs)
+	halfLife := fs.Duration("halflife", 42*24*time.Hour, "evidence half-life")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := configFrom(*scaleDen, *seed, *draws, *benign)
+	if err != nil {
+		return err
+	}
+	ds, err := buildDataset(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.TrackerWithHalfLife(ds, *halfLife)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n\n%s", res.Title(), res.Render())
+	return nil
+}

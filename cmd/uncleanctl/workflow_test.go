@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestEndToEndWorkflow drives the full disk-based workflow at a tiny
+// scale: generate reports, analyze them back, and render figures —
+// exactly the sequence README's quick start documents.
+func TestEndToEndWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world generation in -short mode")
+	}
+	dir := t.TempDir()
+	reports := filepath.Join(dir, "reports")
+	common := []string{"-scale", "2000", "-seed", "7", "-draws", "20", "-benign", "15"}
+
+	if err := run(append([]string{"reports", "-out", reports}, common...)); err != nil {
+		t.Fatalf("reports: %v", err)
+	}
+	if err := run(append([]string{"analyze", "-reports", reports, "-mode", "spatial",
+		"-report", "bot", "-draws", "20"}, []string{}...)); err != nil {
+		t.Fatalf("analyze spatial: %v", err)
+	}
+	if err := run([]string{"analyze", "-reports", reports, "-mode", "temporal",
+		"-past", "bot-test", "-present", "spam", "-draws", "20"}); err != nil {
+		t.Fatalf("analyze temporal: %v", err)
+	}
+	if err := run([]string{"analyze", "-reports", reports, "-mode", "temporal",
+		"-past", "missing-tag", "-present", "spam"}); err == nil {
+		t.Fatal("analyze with unknown tag succeeded")
+	}
+	figs := filepath.Join(dir, "figs")
+	if err := run(append([]string{"figures", "-out", figs}, common...)); err != nil {
+		t.Fatalf("figures: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(figs, "*.svg"))
+	if err != nil || len(matches) != 12 {
+		t.Fatalf("figures wrote %d SVGs (%v)", len(matches), err)
+	}
+}

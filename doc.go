@@ -1,0 +1,14 @@
+// Package unclean is a from-scratch reproduction of "Using uncleanliness
+// to predict future botnet addresses" (Collins, Shimeall, Faber, Janies,
+// Weaver, De Shon, Kadane — IMC 2007).
+//
+// The paper's datasets are proprietary, so the repository includes a full
+// synthetic measurement world (internal/simnet over internal/netmodel)
+// whose traffic is observed through the same kind of detectors the paper
+// used (internal/scandetect, internal/spamdetect, internal/botmonitor).
+// The analyses themselves live in internal/core; internal/experiments
+// regenerates every table and figure; cmd/uncleanctl drives it all.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package unclean

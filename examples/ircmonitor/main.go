@@ -1,0 +1,93 @@
+// IRCMonitor: how the paper's provided bot reports come to exist. Drones
+// from the simulated world's botnet check into an IRC C&C channel over
+// real TCP; a passive channel monitor harvests their addresses into a
+// report, which is then checked against the world's ground truth.
+//
+// Run with: go run ./examples/ircmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"unclean/internal/botmonitor"
+	"unclean/internal/netaddr"
+	"unclean/internal/simnet"
+)
+
+func main() {
+	// Generate a world and take the bots active on the bot-test date —
+	// these are the machines that will check into the C&C.
+	wcfg := simnet.DefaultConfig(1.0 / 1000)
+	wcfg.Seed = 11
+	world, err := simnet.NewWorld(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet := world.BotTest()
+	fmt.Printf("ground truth: %d bots in the botnet\n", fleet.Len())
+
+	// Start the C&C server on loopback TCP.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	srv := botmonitor.NewServer("cc.unclean.example")
+	go srv.Serve(l) //nolint:errcheck // exits when the listener closes
+	defer srv.Close()
+
+	// Attach the monitor, exactly as a third-party observer would.
+	mon := botmonitor.NewMonitor("#owned")
+	done := make(chan struct{})
+	monConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	watchErr := make(chan error, 1)
+	go func() { watchErr <- botmonitor.WatchChannel(monConn, "observer", "#owned", mon, done) }()
+	time.Sleep(100 * time.Millisecond)
+
+	// Drive each drone through a real IRC session.
+	i := 0
+	fleet.Each(func(addr netaddr.Addr) bool {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bot := &botmonitor.Bot{
+			Nick:    fmt.Sprintf("drone%03d", i),
+			Addr:    addr,
+			Channel: "#owned",
+			Reports: []string{fmt.Sprintf("[SYSINFO]: online, uptime %dh", 1+i%40)},
+		}
+		if err := bot.Run(conn); err != nil {
+			log.Fatal(err)
+		}
+		i++
+		return true
+	})
+
+	// Wait for the monitor to catch up, then compare against truth.
+	deadline := time.Now().Add(10 * time.Second)
+	for mon.BotAddrs().Len() < fleet.Len() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(done)
+	if err := <-watchErr; err != nil {
+		log.Fatal(err)
+	}
+
+	harvested := mon.BotAddrs()
+	missed := fleet.Difference(harvested)
+	phantom := harvested.Difference(fleet)
+	fmt.Printf("harvested: %d addresses (missed %d, phantom %d)\n",
+		harvested.Len(), missed.Len(), phantom.Len())
+	if missed.IsEmpty() && phantom.IsEmpty() {
+		fmt.Println("monitoring recovered the botnet membership exactly")
+	}
+	fmt.Printf("botnet concentration: %d /24s, %d /16s for %d bots\n",
+		harvested.BlockCount(24), harvested.BlockCount(16), harvested.Len())
+}

@@ -1,0 +1,3 @@
+module unclean
+
+go 1.22

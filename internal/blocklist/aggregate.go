@@ -1,0 +1,99 @@
+package blocklist
+
+import (
+	"sort"
+
+	"unclean/internal/netaddr"
+)
+
+// Aggregate returns a minimized blocklist covering exactly the same
+// addresses: rules already covered by a shorter-prefix rule are dropped,
+// and complementary sibling rules are merged into their parent,
+// recursively. Operational lists distributed to routers and DNSBL
+// mirrors are aggregated first — the /24 expansion of a report routinely
+// contains mergeable runs.
+//
+// Reasons are preserved when the merged rules agree and replaced with
+// "aggregated" otherwise.
+func (t *Trie) Aggregate() *Trie {
+	entries := t.Entries()
+	// Shorter prefixes first so covered rules can be dropped in one pass.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Block.Bits() != entries[j].Block.Bits() {
+			return entries[i].Block.Bits() < entries[j].Block.Bits()
+		}
+		return entries[i].Block.Base() < entries[j].Block.Base()
+	})
+	cover := &Trie{}
+	reasons := make(map[netaddr.Block]string)
+	for _, e := range entries {
+		if cover.Blocks(e.Block.Base()) {
+			continue // a shorter rule already covers this block entirely
+		}
+		cover.Insert(e.Block, e.Reason)
+		reasons[e.Block] = e.Reason
+	}
+	// Iteratively merge complementary siblings.
+	for {
+		merged := false
+		for b, reason := range reasons {
+			if b.Bits() == 0 {
+				continue
+			}
+			sib := siblingOf(b)
+			sibReason, ok := reasons[sib]
+			if !ok {
+				continue
+			}
+			parent := b.Parent()
+			newReason := reason
+			if sibReason != reason {
+				newReason = "aggregated"
+			}
+			delete(reasons, b)
+			delete(reasons, sib)
+			reasons[parent] = newReason
+			merged = true
+			break // the map changed; restart iteration
+		}
+		if !merged {
+			break
+		}
+	}
+	out := &Trie{}
+	for b, reason := range reasons {
+		out.Insert(b, reason)
+	}
+	return out
+}
+
+// siblingOf returns the block differing from b only in its last prefix
+// bit.
+func siblingOf(b netaddr.Block) netaddr.Block {
+	bit := netaddr.Addr(1) << (32 - uint(b.Bits()))
+	return (b.Base() ^ bit).Block(b.Bits())
+}
+
+// CoversSameAddresses reports whether two blocklists block exactly the
+// same address set; used to validate aggregation. It compares the
+// canonical disjoint cover of both lists.
+func CoversSameAddresses(a, b *Trie) bool {
+	return canonicalCover(a) == canonicalCover(b)
+}
+
+// canonicalCover renders the list's covered space as a canonical string
+// of disjoint, fully-merged blocks.
+func canonicalCover(t *Trie) string {
+	agg := t.Aggregate()
+	blocks := make([]netaddr.Block, 0, agg.Len())
+	agg.Walk(func(e Entry) bool {
+		blocks = append(blocks, e.Block)
+		return true
+	})
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Compare(blocks[j]) < 0 })
+	s := ""
+	for _, b := range blocks {
+		s += b.String() + " "
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package blocklist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/stats"
+)
+
+func TestAggregateMergesSiblings(t *testing.T) {
+	var tr Trie
+	tr.Insert(netaddr.MustParseBlock("10.1.0.0/24"), "bot")
+	tr.Insert(netaddr.MustParseBlock("10.1.1.0/24"), "bot")
+	agg := tr.Aggregate()
+	if agg.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", agg.Len())
+	}
+	e, ok := agg.Lookup(netaddr.MustParseAddr("10.1.1.5"))
+	if !ok || e.Block.String() != "10.1.0.0/23" || e.Reason != "bot" {
+		t.Fatalf("merged entry = %+v, %v", e, ok)
+	}
+}
+
+func TestAggregateCascades(t *testing.T) {
+	// Four adjacent /24s collapse into one /22.
+	var tr Trie
+	for i := 0; i < 4; i++ {
+		tr.Insert(netaddr.MakeAddr(10, 1, byte(i), 0).Block(24), "x")
+	}
+	agg := tr.Aggregate()
+	if agg.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", agg.Len())
+	}
+	if e, _ := agg.Lookup(netaddr.MustParseAddr("10.1.3.9")); e.Block.String() != "10.1.0.0/22" {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestAggregateDropsCoveredRules(t *testing.T) {
+	var tr Trie
+	tr.Insert(netaddr.MustParseBlock("10.0.0.0/8"), "outer")
+	tr.Insert(netaddr.MustParseBlock("10.1.1.0/24"), "inner")
+	agg := tr.Aggregate()
+	if agg.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", agg.Len())
+	}
+	if e, _ := agg.Lookup(netaddr.MustParseAddr("10.1.1.1")); e.Reason != "outer" {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestAggregateMixedReasons(t *testing.T) {
+	var tr Trie
+	tr.Insert(netaddr.MustParseBlock("10.1.0.0/24"), "bot")
+	tr.Insert(netaddr.MustParseBlock("10.1.1.0/24"), "spam")
+	agg := tr.Aggregate()
+	if agg.Len() != 1 {
+		t.Fatalf("Len = %d", agg.Len())
+	}
+	if e, _ := agg.Lookup(netaddr.MustParseAddr("10.1.0.1")); e.Reason != "aggregated" {
+		t.Fatalf("reason = %q", e.Reason)
+	}
+}
+
+func TestAggregateNonAdjacentStay(t *testing.T) {
+	var tr Trie
+	tr.Insert(netaddr.MustParseBlock("10.1.0.0/24"), "x")
+	tr.Insert(netaddr.MustParseBlock("10.1.2.0/24"), "x") // not a sibling of 10.1.0.0/24
+	agg := tr.Aggregate()
+	if agg.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", agg.Len())
+	}
+}
+
+func TestAggregatePreservesCoverage(t *testing.T) {
+	f := func(raw []uint32, bitsRaw []uint8) bool {
+		var tr Trie
+		for i, u := range raw {
+			if i >= len(bitsRaw) {
+				break
+			}
+			bits := 8 + int(bitsRaw[i]%25) // /8../32
+			tr.Insert(netaddr.Addr(u).Block(bits), "r")
+		}
+		agg := tr.Aggregate()
+		if agg.Len() > tr.Len() {
+			return false
+		}
+		// Membership must be identical for probes around every rule edge
+		// and for random addresses.
+		probes := []netaddr.Addr{0, ^netaddr.Addr(0)}
+		tr.Walk(func(e Entry) bool {
+			probes = append(probes, e.Block.Base(), e.Block.Last(), e.Block.Base()-1, e.Block.Last()+1)
+			return true
+		})
+		rng := stats.NewRNG(7)
+		for i := 0; i < 64; i++ {
+			probes = append(probes, netaddr.Addr(rng.Uint32()))
+		}
+		for _, p := range probes {
+			if tr.Blocks(p) != agg.Blocks(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateIdempotent(t *testing.T) {
+	var tr Trie
+	for i := 0; i < 8; i++ {
+		tr.Insert(netaddr.MakeAddr(10, byte(i), 0, 0).Block(17), "x")
+	}
+	once := tr.Aggregate()
+	twice := once.Aggregate()
+	if once.Len() != twice.Len() {
+		t.Fatalf("not idempotent: %d vs %d", once.Len(), twice.Len())
+	}
+	if !CoversSameAddresses(once, twice) || !CoversSameAddresses(&tr, once) {
+		t.Fatal("coverage changed")
+	}
+}
+
+func TestCoversSameAddresses(t *testing.T) {
+	var a, b, c Trie
+	a.Insert(netaddr.MustParseBlock("10.1.0.0/23"), "x")
+	b.Insert(netaddr.MustParseBlock("10.1.0.0/24"), "y")
+	b.Insert(netaddr.MustParseBlock("10.1.1.0/24"), "z")
+	c.Insert(netaddr.MustParseBlock("10.1.0.0/24"), "y")
+	if !CoversSameAddresses(&a, &b) {
+		t.Error("equivalent lists reported different")
+	}
+	if CoversSameAddresses(&a, &c) {
+		t.Error("different lists reported equivalent")
+	}
+}

@@ -1,0 +1,60 @@
+package blocklist
+
+import (
+	"testing"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/stats"
+)
+
+func benchTrie(nRules int) *Trie {
+	rng := stats.NewRNG(9)
+	t := &Trie{}
+	for i := 0; i < nRules; i++ {
+		t.Insert(netaddr.Addr(rng.Uint32()).Block(16+rng.Intn(17)), "bench")
+	}
+	return t
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	rng := stats.NewRNG(10)
+	blocks := make([]netaddr.Block, 10000)
+	for i := range blocks {
+		blocks[i] = netaddr.Addr(rng.Uint32()).Block(24)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := &Trie{}
+		for _, blk := range blocks {
+			t.Insert(blk, "x")
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	t := benchTrie(10000)
+	rng := stats.NewRNG(11)
+	probes := make([]netaddr.Addr, 1024)
+	for i := range probes {
+		probes[i] = netaddr.Addr(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(probes[i%len(probes)])
+	}
+}
+
+func BenchmarkTrieWalk(b *testing.B) {
+	t := benchTrie(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		t.Walk(func(Entry) bool {
+			n++
+			return true
+		})
+		if n == 0 {
+			b.Fatal("empty walk")
+		}
+	}
+}

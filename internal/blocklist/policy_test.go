@@ -1,0 +1,103 @@
+package blocklist
+
+import (
+	"testing"
+	"time"
+
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
+)
+
+func TestPolicyPrecedence(t *testing.T) {
+	deny := FromSet(ipset.MustParse("10.1.1.1"), 24, "unclean")
+	allow := &Trie{}
+	allow.Insert(netaddr.MustParseBlock("10.1.1.80/32"), "partner mail server")
+	p := NewPolicy(allow, deny)
+
+	// Denied by the /24, no allow match.
+	if v, e := p.Decide(netaddr.MustParseAddr("10.1.1.5")); v != Denied || e.Reason != "unclean" {
+		t.Fatalf("verdict = %v (%+v)", v, e)
+	}
+	// The /32 allow overrides the /24 deny.
+	if v, e := p.Decide(netaddr.MustParseAddr("10.1.1.80")); v != Allowed || e.Reason != "partner mail server" {
+		t.Fatalf("verdict = %v (%+v)", v, e)
+	}
+	// Untouched space.
+	if v, _ := p.Decide(netaddr.MustParseAddr("99.9.9.9")); v != NoMatch {
+		t.Fatalf("verdict = %v", v)
+	}
+}
+
+func TestPolicyEqualSpecificityAllowsWins(t *testing.T) {
+	allow := FromSet(ipset.MustParse("10.1.1.1"), 24, "allow")
+	deny := FromSet(ipset.MustParse("10.1.1.1"), 24, "deny")
+	p := NewPolicy(allow, deny)
+	if v, _ := p.Decide(netaddr.MustParseAddr("10.1.1.200")); v != Allowed {
+		t.Fatalf("tie verdict = %v, want Allowed", v)
+	}
+}
+
+func TestPolicyDenyMoreSpecificWins(t *testing.T) {
+	allow := FromSet(ipset.MustParse("10.1.1.1"), 16, "allow region")
+	deny := FromSet(ipset.MustParse("10.1.1.1"), 24, "deny block")
+	p := NewPolicy(allow, deny)
+	if v, _ := p.Decide(netaddr.MustParseAddr("10.1.1.200")); v != Denied {
+		t.Fatalf("verdict = %v, want Denied (longer deny)", v)
+	}
+	if v, _ := p.Decide(netaddr.MustParseAddr("10.1.99.1")); v != Allowed {
+		t.Fatalf("verdict = %v, want Allowed (outside deny /24)", v)
+	}
+}
+
+func TestPolicyNilLists(t *testing.T) {
+	p := NewPolicy(nil, nil)
+	if v, _ := p.Decide(netaddr.MustParseAddr("1.2.3.4")); v != NoMatch {
+		t.Fatalf("verdict = %v", v)
+	}
+}
+
+func TestPolicyApply(t *testing.T) {
+	t0 := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(src string, payload bool) netflow.Record {
+		r := netflow.Record{
+			SrcAddr: netaddr.MustParseAddr(src),
+			DstAddr: netaddr.MustParseAddr("30.0.0.1"),
+			First:   t0, Last: t0.Add(time.Second),
+			Proto: netflow.ProtoTCP, SrcPort: 2000, DstPort: 80,
+		}
+		if payload {
+			r.Packets, r.Octets = 10, 2500
+			r.TCPFlags = netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH
+		} else {
+			r.Packets, r.Octets = 2, 96
+			r.TCPFlags = netflow.FlagSYN
+		}
+		return r
+	}
+	deny := FromSet(ipset.MustParse("10.1.1.1"), 24, "unclean")
+	allow := &Trie{}
+	allow.Insert(netaddr.MustParseBlock("10.1.1.80/32"), "partner")
+	p := NewPolicy(allow, deny)
+	eval := p.Apply([]netflow.Record{
+		mk("10.1.1.5", false), // denied
+		mk("10.1.1.5", true),  // denied, payload collateral
+		mk("10.1.1.80", true), // allowed
+		mk("99.9.9.9", true),  // unmatched
+	})
+	if eval.FlowsDenied != 2 || eval.PayloadDenied != 1 || eval.FlowsAllowed != 1 || eval.FlowsUnmatched != 1 {
+		t.Fatalf("eval = %+v", eval)
+	}
+	if eval.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if NoMatch.String() != "no-match" || Allowed.String() != "allowed" || Denied.String() != "denied" {
+		t.Error("verdict names wrong")
+	}
+	if Verdict(9).String() != "unknown" {
+		t.Error("out-of-range verdict name")
+	}
+}

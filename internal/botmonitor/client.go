@@ -1,0 +1,98 @@
+package botmonitor
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+
+	"unclean/internal/netaddr"
+)
+
+// Bot drives one drone session against a C&C server: register, join the
+// channel, emit report lines, quit. addr is the infected host's address,
+// declared in the USER realname so it survives transports that hide the
+// peer address (net.Pipe, NAT).
+type Bot struct {
+	Nick    string
+	Addr    netaddr.Addr
+	Channel string
+	// Reports are free-text lines the bot PRIVMSGs into the channel
+	// after joining (e.g. "[SCAN]: exploited 12.34.56.78").
+	Reports []string
+}
+
+// Run performs the session over conn and closes it. It returns once the
+// registration round-trip completes and all reports are written.
+func (b *Bot) Run(conn net.Conn) error {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	writeLine := func(format string, args ...any) error {
+		if _, err := fmt.Fprintf(w, format+"\r\n", args...); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := writeLine("NICK %s", b.Nick); err != nil {
+		return err
+	}
+	if err := writeLine("USER %s 0 * :addr=%s", b.Nick, b.Addr); err != nil {
+		return err
+	}
+	// Wait for the 001 welcome so the JOIN carries the declared host.
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		msg, err := ParseMessage(strings.TrimSpace(sc.Text()))
+		if err != nil {
+			continue
+		}
+		if msg.Command == "001" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := writeLine("JOIN %s", b.Channel); err != nil {
+		return err
+	}
+	for _, report := range b.Reports {
+		if err := writeLine("PRIVMSG %s :%s", b.Channel, report); err != nil {
+			return err
+		}
+	}
+	return writeLine("QUIT :%s", "offline")
+}
+
+// WatchChannel registers on the C&C as an observer, joins channel, and
+// feeds everything the server relays into mon until the connection
+// closes or done is closed.
+func WatchChannel(conn net.Conn, nick, channel string, mon *Monitor, done <-chan struct{}) error {
+	w := bufio.NewWriter(conn)
+	writeLine := func(format string, args ...any) error {
+		if _, err := fmt.Fprintf(w, format+"\r\n", args...); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	if err := writeLine("NICK %s", nick); err != nil {
+		return err
+	}
+	if err := writeLine("USER %s 0 * :observer", nick); err != nil {
+		return err
+	}
+	if err := writeLine("JOIN %s", channel); err != nil {
+		return err
+	}
+	go func() {
+		<-done
+		conn.Close()
+	}()
+	err := mon.Run(conn)
+	select {
+	case <-done:
+		return nil // shutdown-induced read error is expected
+	default:
+		return err
+	}
+}

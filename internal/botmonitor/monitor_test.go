@@ -1,0 +1,130 @@
+package botmonitor
+
+import (
+	"strings"
+	"testing"
+
+	"unclean/internal/netaddr"
+)
+
+func TestMonitorHarvestsJoins(t *testing.T) {
+	m := NewMonitor("#owned")
+	stream := strings.Join([]string{
+		":a!x@12.34.56.78 JOIN #owned",
+		":b!x@99.88.77.66 JOIN #owned",
+		":c!x@10.0.0.1 JOIN #owned",     // RFC1918: discarded
+		":d!x@cloaked.host JOIN #owned", // not an IP: discarded
+		":e!x@5.5.5.5 JOIN #other",      // other channel: discarded
+		":irc.server 001 mon :Welcome",  // server numeric: no host
+	}, "\r\n")
+	if err := m.Run(strings.NewReader(stream)); err != nil {
+		t.Fatal(err)
+	}
+	bots := m.BotAddrs()
+	if bots.Len() != 2 {
+		t.Fatalf("BotAddrs = %v, want 2 addresses", bots)
+	}
+	for _, want := range []string{"12.34.56.78", "99.88.77.66"} {
+		if !bots.Contains(netaddr.MustParseAddr(want)) {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestMonitorHarvestsPrivmsgBodies(t *testing.T) {
+	m := NewMonitor("#owned")
+	m.ObserveLine(":a!x@12.34.56.78 PRIVMSG #owned :[SCAN]: exploited 200.1.2.3 and 201.4.5.6.")
+	m.ObserveLine(":a!x@12.34.56.78 PRIVMSG #owned :version 1.2.3 build 4") // 1.2.3 is not quad
+	bots := m.BotAddrs()
+	if bots.Len() != 1 || !bots.Contains(netaddr.MustParseAddr("12.34.56.78")) {
+		t.Fatalf("BotAddrs = %v", bots)
+	}
+	reported := m.ReportedAddrs()
+	if reported.Len() != 2 {
+		t.Fatalf("ReportedAddrs = %v, want 2", reported)
+	}
+	all := m.All()
+	if all.Len() != 3 {
+		t.Fatalf("All = %v, want 3", all)
+	}
+}
+
+func TestMonitorAllChannels(t *testing.T) {
+	m := NewMonitor("")
+	m.ObserveLine(":a!x@1.1.1.1 JOIN #one")
+	m.ObserveLine(":b!x@2.2.2.2 JOIN #two")
+	if m.BotAddrs().Len() != 2 {
+		t.Fatalf("wildcard monitor missed a channel")
+	}
+}
+
+func TestMonitorChannelCaseInsensitive(t *testing.T) {
+	m := NewMonitor("#Owned")
+	m.ObserveLine(":a!x@1.1.1.1 JOIN #owned")
+	m.ObserveLine(":a!x@2.2.2.2 PRIVMSG #OWNED :hi")
+	if m.BotAddrs().Len() != 2 {
+		t.Fatal("channel match should be case-insensitive")
+	}
+}
+
+func TestMonitorJoinTrailingForm(t *testing.T) {
+	// Some clients send "JOIN :#chan".
+	m := NewMonitor("#owned")
+	m.ObserveLine(":a!x@3.3.3.3 JOIN :#owned")
+	if m.BotAddrs().Len() != 1 {
+		t.Fatal("JOIN with trailing channel not handled")
+	}
+}
+
+func TestMonitorStats(t *testing.T) {
+	m := NewMonitor("#owned")
+	m.ObserveLine(":a!x@1.1.1.1 JOIN #owned")
+	m.ObserveLine(":garbageprefixwithoutcommand")
+	lines, malformed := m.Stats()
+	if lines != 2 || malformed != 1 {
+		t.Fatalf("Stats = %d, %d, want 2, 1", lines, malformed)
+	}
+}
+
+func TestMonitorRecordsTopicCommands(t *testing.T) {
+	m := NewMonitor("#owned")
+	m.ObserveLine(":boss!x@5.5.5.5 TOPIC #owned :.advscan lsass 150 5 0 -r")
+	m.ObserveLine(":cc.server 332 drone1 #owned :.advscan lsass 150 5 0 -r")
+	m.ObserveLine(":boss!x@5.5.5.5 TOPIC #other :.ddos 66.7.8.9 80") // other channel
+	cmds := m.Commands()
+	if len(cmds) != 2 {
+		t.Fatalf("commands = %d, want 2", len(cmds))
+	}
+	if cmds[0].Issuer != "boss" || cmds[0].Text != ".advscan lsass 150 5 0 -r" {
+		t.Fatalf("command[0] = %+v", cmds[0])
+	}
+	if cmds[1].Issuer != "" || cmds[1].Channel != "#owned" {
+		t.Fatalf("command[1] = %+v", cmds[1])
+	}
+	// The topic setter's host is harvested like any other participant.
+	if !m.BotAddrs().Contains(netaddr.MustParseAddr("5.5.5.5")) {
+		t.Error("topic setter's address not harvested")
+	}
+	// Addresses in commands are harvested as reported victims.
+	m.ObserveLine(":boss!x@5.5.5.5 TOPIC #owned :.ddos 66.7.8.9 80")
+	if !m.ReportedAddrs().Contains(netaddr.MustParseAddr("66.7.8.9")) {
+		t.Error("DDoS target in topic not harvested")
+	}
+	// Returned slice is a copy.
+	cmds[0].Text = "mutated"
+	if m.Commands()[0].Text == "mutated" {
+		t.Error("Commands returns shared storage")
+	}
+}
+
+func TestMonitorAccumulatesAcrossSnapshots(t *testing.T) {
+	m := NewMonitor("#owned")
+	m.ObserveLine(":a!x@1.1.1.1 JOIN #owned")
+	if m.BotAddrs().Len() != 1 {
+		t.Fatal("first snapshot wrong")
+	}
+	m.ObserveLine(":b!x@2.2.2.2 JOIN #owned")
+	if m.BotAddrs().Len() != 2 {
+		t.Fatal("snapshot consumed earlier observations")
+	}
+}

@@ -1,0 +1,276 @@
+package botmonitor
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"unclean/internal/netaddr"
+)
+
+// Server is a minimal IRC daemon sufficient to host a botnet C&C channel:
+// registration (NICK/USER), JOIN, PRIVMSG fan-out, PING/PONG, QUIT. It
+// exists so the monitor can be exercised against live protocol traffic
+// (over real TCP in the examples, over net.Pipe in tests).
+type Server struct {
+	name string
+
+	mu       sync.Mutex
+	clients  map[*client]struct{}
+	channels map[string]map[*client]struct{}
+	topics   map[string]string
+	closed   bool
+}
+
+type client struct {
+	srv  *Server
+	conn net.Conn
+	out  chan string
+	done chan struct{}
+
+	mu         sync.Mutex
+	nick       string
+	user       string
+	host       string
+	registered bool
+}
+
+// NewServer returns a server named name (used in numeric reply prefixes).
+func NewServer(name string) *Server {
+	return &Server{
+		name:     name,
+		clients:  make(map[*client]struct{}),
+		channels: make(map[string]map[*client]struct{}),
+		topics:   make(map[string]string),
+	}
+}
+
+// Serve accepts connections from l until l is closed. It blocks; run it
+// in a goroutine. Each connection is handled concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the IRC session on one connection until it closes. The
+// client's visible host is taken from the connection's remote address
+// when it is TCP; bots behind net.Pipe should declare their address via
+// the USER realname field ("addr=a.b.c.d"), which mirrors how drone
+// hostmasks carried the infected machine's IP.
+func (s *Server) ServeConn(conn net.Conn) {
+	c := &client{
+		srv:  s,
+		conn: conn,
+		out:  make(chan string, 64),
+		done: make(chan struct{}),
+	}
+	if tcp, ok := conn.RemoteAddr().(*net.TCPAddr); ok && tcp.IP.To4() != nil {
+		c.host = tcp.IP.String()
+	} else {
+		c.host = "unknown.host"
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.clients[c] = struct{}{}
+	s.mu.Unlock()
+
+	go c.writer()
+	c.reader()
+	s.drop(c)
+}
+
+// Close disconnects every client.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	clients := make([]*client, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.conn.Close()
+	}
+}
+
+func (s *Server) drop(c *client) {
+	s.mu.Lock()
+	delete(s.clients, c)
+	for _, members := range s.channels {
+		delete(members, c)
+	}
+	s.mu.Unlock()
+	close(c.done)
+	c.conn.Close()
+}
+
+func (c *client) writer() {
+	w := bufio.NewWriter(c.conn)
+	for {
+		select {
+		case line := <-c.out:
+			if _, err := w.WriteString(line + "\r\n"); err != nil {
+				return
+			}
+			// Flush eagerly unless more lines are queued.
+			if len(c.out) == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *client) send(line string) {
+	select {
+	case c.out <- line:
+	case <-c.done:
+	default:
+		// Slow consumer: drop the line rather than stalling the C&C.
+	}
+}
+
+func (c *client) prefix() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%s!%s@%s", c.nick, c.user, c.host)
+}
+
+func (c *client) reader() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 8*1024), 8*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		msg, err := ParseMessage(line)
+		if err != nil {
+			continue
+		}
+		if quit := c.handle(msg); quit {
+			return
+		}
+	}
+}
+
+// handle processes one inbound message; it reports whether the session
+// should end.
+func (c *client) handle(msg Message) bool {
+	s := c.srv
+	switch msg.Command {
+	case "NICK":
+		nick := msg.Param(0)
+		if nick == "" {
+			nick = msg.Trailing
+		}
+		c.mu.Lock()
+		c.nick = nick
+		c.mu.Unlock()
+		c.maybeWelcome()
+	case "USER":
+		c.mu.Lock()
+		c.user = msg.Param(0)
+		c.mu.Unlock()
+		// Drone convention: realname "addr=a.b.c.d" declares the infected
+		// host's address when the transport hides it.
+		if rest, ok := strings.CutPrefix(msg.Trailing, "addr="); ok {
+			if a, err := netaddr.ParseAddr(rest); err == nil {
+				c.mu.Lock()
+				c.host = a.String()
+				c.mu.Unlock()
+			}
+		}
+		c.maybeWelcome()
+	case "PING":
+		token := msg.Trailing
+		if token == "" {
+			token = msg.Param(0)
+		}
+		c.send(fmt.Sprintf(":%s PONG %s :%s", s.name, s.name, token))
+	case "JOIN":
+		ch := strings.ToLower(msg.Param(0))
+		if ch == "" {
+			ch = strings.ToLower(msg.Trailing)
+		}
+		if ch == "" {
+			return false
+		}
+		s.mu.Lock()
+		members := s.channels[ch]
+		if members == nil {
+			members = make(map[*client]struct{})
+			s.channels[ch] = members
+		}
+		members[c] = struct{}{}
+		topic := s.topics[ch]
+		s.mu.Unlock()
+		s.broadcast(ch, fmt.Sprintf(":%s JOIN %s", c.prefix(), ch), nil)
+		// Botnet C&C convention: the channel topic carries the standing
+		// command; send RPL_TOPIC (332) to the joiner when one is set.
+		if topic != "" {
+			c.mu.Lock()
+			nick := c.nick
+			c.mu.Unlock()
+			c.send(fmt.Sprintf(":%s 332 %s %s :%s", s.name, nick, ch, topic))
+		}
+	case "TOPIC":
+		ch := strings.ToLower(msg.Param(0))
+		if ch == "" || !msg.HasTrailing {
+			return false
+		}
+		s.mu.Lock()
+		s.topics[ch] = msg.Trailing
+		s.mu.Unlock()
+		s.broadcast(ch, fmt.Sprintf(":%s TOPIC %s :%s", c.prefix(), ch, msg.Trailing), nil)
+	case "PRIVMSG", "NOTICE":
+		ch := strings.ToLower(msg.Param(0))
+		line := fmt.Sprintf(":%s %s %s :%s", c.prefix(), msg.Command, ch, msg.Trailing)
+		s.broadcast(ch, line, c)
+	case "QUIT":
+		return true
+	}
+	return false
+}
+
+func (c *client) maybeWelcome() {
+	c.mu.Lock()
+	ready := c.nick != "" && c.user != "" && !c.registered
+	if ready {
+		c.registered = true
+	}
+	nick := c.nick
+	c.mu.Unlock()
+	if ready {
+		c.send(fmt.Sprintf(":%s 001 %s :Welcome to %s", c.srv.name, nick, c.srv.name))
+	}
+}
+
+// broadcast sends line to every member of ch except skip.
+func (s *Server) broadcast(ch string, line string, skip *client) {
+	s.mu.Lock()
+	members := make([]*client, 0, len(s.channels[ch]))
+	for m := range s.channels[ch] {
+		if m != skip {
+			members = append(members, m)
+		}
+	}
+	s.mu.Unlock()
+	for _, m := range members {
+		m.send(line)
+	}
+}

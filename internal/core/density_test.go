@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+	"unclean/internal/stats"
+)
+
+// clusteredSet builds nAddrs distinct addresses packed into few /24s.
+func clusteredSet(rng *stats.RNG, nAddrs, nBlocks int) ipset.Set {
+	bases := make([]netaddr.Addr, nBlocks)
+	for i := range bases {
+		bases[i] = netaddr.Addr(rng.Uint32()).Mask(24)
+	}
+	seen := make(map[netaddr.Addr]struct{}, nAddrs)
+	b := ipset.NewBuilder(nAddrs)
+	for len(seen) < nAddrs {
+		base := bases[rng.Intn(nBlocks)]
+		a := base + netaddr.Addr(1+rng.Intn(254))
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			b.Add(a)
+		}
+	}
+	return b.Build()
+}
+
+// scatteredSet builds n distinct addresses uniformly over the whole space.
+func scatteredSet(rng *stats.RNG, n int) ipset.Set {
+	seen := make(map[netaddr.Addr]struct{}, n)
+	b := ipset.NewBuilder(n)
+	for len(seen) < n {
+		a := netaddr.Addr(rng.Uint32())
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			b.Add(a)
+		}
+	}
+	return b.Build()
+}
+
+func TestSpatialDensityDetectsClustering(t *testing.T) {
+	rng := stats.NewRNG(1)
+	unclean := clusteredSet(rng, 500, 40)
+	control := scatteredSet(rng, 20000)
+	res, err := SpatialDensity(unclean, control, ipset.Set{}, 100, DefaultPrefixRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("clustered report not found denser than scattered control")
+	}
+	if len(res.Rows) != 17 {
+		t.Fatalf("rows = %d, want 17", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Observed > int(row.Control.Median) && row.Bits <= 24 {
+			t.Errorf("/%d: observed %d above control median %v", row.Bits, row.Observed, row.Control.Median)
+		}
+		if row.FractionDenser < 0.9 && row.Bits <= 28 {
+			t.Errorf("/%d: FractionDenser = %v", row.Bits, row.FractionDenser)
+		}
+	}
+	// Clustered: at most 40 blocks at /24; scattered control should use
+	// ~500.
+	r24 := res.Rows[24-16]
+	if r24.Observed > 40 {
+		t.Errorf("/24 observed = %d, want <= 40", r24.Observed)
+	}
+	if r24.Control.Median < 400 {
+		t.Errorf("/24 control median = %v, want ~500", r24.Control.Median)
+	}
+}
+
+func TestSpatialDensityNoFalsePositive(t *testing.T) {
+	// A random subset of the control population must NOT look denser.
+	rng := stats.NewRNG(2)
+	control := scatteredSet(rng, 20000)
+	notUnclean := control.Sample(500, rng)
+	res, err := SpatialDensity(notUnclean, control, ipset.Set{}, 200, DefaultPrefixRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random subset must never be STRICTLY denser than every control
+	// draw (ties at saturated prefixes are expected: at /32 every
+	// equal-cardinality set counts the same blocks).
+	strictlyDenser := 0
+	for _, row := range res.Rows {
+		if float64(row.Observed) < row.Control.Min {
+			strictlyDenser++
+		}
+	}
+	if strictlyDenser > 1 {
+		t.Errorf("random subset strictly denser than all draws at %d/17 prefixes", strictlyDenser)
+	}
+}
+
+func TestSpatialDensityNaiveColumn(t *testing.T) {
+	rng := stats.NewRNG(3)
+	unclean := clusteredSet(rng, 300, 30)
+	control := scatteredSet(rng, 10000)
+	naive := scatteredSet(rng, 300)
+	res, err := SpatialDensity(unclean, control, naive, 50, PrefixRange{Lo: 16, Hi: 24}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Naive == 0 {
+			t.Fatalf("/%d naive column missing", row.Bits)
+		}
+		if row.Naive < row.Observed {
+			t.Errorf("/%d: naive (%d) denser than clustered report (%d)", row.Bits, row.Naive, row.Observed)
+		}
+	}
+}
+
+func TestSpatialDensityErrors(t *testing.T) {
+	rng := stats.NewRNG(4)
+	control := scatteredSet(rng, 1000)
+	small := control.Sample(10, rng)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"empty unclean", func() error {
+			_, err := SpatialDensity(ipset.Set{}, control, ipset.Set{}, 10, DefaultPrefixRange(), rng)
+			return err
+		}},
+		{"zero draws", func() error {
+			_, err := SpatialDensity(small, control, ipset.Set{}, 0, DefaultPrefixRange(), rng)
+			return err
+		}},
+		{"control too small", func() error {
+			_, err := SpatialDensity(control, small, ipset.Set{}, 10, DefaultPrefixRange(), rng)
+			return err
+		}},
+		{"bad range", func() error {
+			_, err := SpatialDensity(small, control, ipset.Set{}, 10, PrefixRange{Lo: 20, Hi: 10}, rng)
+			return err
+		}},
+		{"naive size mismatch", func() error {
+			_, err := SpatialDensity(small, control, control.Sample(5, rng), 10, DefaultPrefixRange(), rng)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	if DefaultPrefixRange() != (PrefixRange{16, 32}) {
+		t.Error("default range wrong")
+	}
+	if (PrefixRange{16, 32}).Len() != 17 {
+		t.Error("Len wrong")
+	}
+	for _, bad := range []PrefixRange{{-1, 5}, {0, 33}, {20, 10}} {
+		if bad.Validate() == nil {
+			t.Errorf("range %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"unclean/internal/ipset"
+)
+
+// OverlapMatrix captures the cross-relationship between reports that the
+// paper's abstract announces ("botnet activity predicts spamming and
+// scanning, while phishing activity appears to be unrelated"): for each
+// ordered pair (A, B), the fraction of A's n-bit blocks that also contain
+// members of B.
+type OverlapMatrix struct {
+	// Labels names the reports, in row/column order.
+	Labels []string
+	// Blocks holds |C_n(report)| per label.
+	Blocks []int
+	// Frac[i][j] = |C_n(R_i) ∩ C_n(R_j)| / |C_n(R_i)|; diagonal is 1.
+	Frac [][]float64
+	// Bits is the prefix length used.
+	Bits int
+}
+
+// Overlap computes the matrix at prefix length bits. Reports must be
+// non-empty.
+func Overlap(labels []string, reports []ipset.Set, bits int) (*OverlapMatrix, error) {
+	if len(labels) != len(reports) || len(labels) == 0 {
+		return nil, fmt.Errorf("core: overlap needs matching, non-empty labels and reports")
+	}
+	if bits < 0 || bits > 32 {
+		return nil, fmt.Errorf("core: overlap prefix length out of range")
+	}
+	m := &OverlapMatrix{Labels: labels, Bits: bits}
+	for i, r := range reports {
+		if r.IsEmpty() {
+			return nil, fmt.Errorf("core: overlap report %q is empty", labels[i])
+		}
+		m.Blocks = append(m.Blocks, r.BlockCount(bits))
+	}
+	m.Frac = make([][]float64, len(reports))
+	for i := range reports {
+		m.Frac[i] = make([]float64, len(reports))
+		for j := range reports {
+			if i == j {
+				m.Frac[i][j] = 1
+				continue
+			}
+			inter := reports[i].BlockIntersectCount(reports[j], bits)
+			m.Frac[i][j] = float64(inter) / float64(m.Blocks[i])
+		}
+	}
+	return m, nil
+}
+
+// String renders the matrix as an aligned table.
+func (m *OverlapMatrix) String() string {
+	out := fmt.Sprintf("%-8s %8s", "", "blocks")
+	for _, l := range m.Labels {
+		out += fmt.Sprintf(" %8s", l)
+	}
+	out += "\n"
+	for i, l := range m.Labels {
+		out += fmt.Sprintf("%-8s %8d", l, m.Blocks[i])
+		for j := range m.Labels {
+			out += fmt.Sprintf(" %8.3f", m.Frac[i][j])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// MeanOffDiagonal returns the average overlap of one row excluding the
+// diagonal and excluding listed columns — used to compare a report's
+// relatedness to a group.
+func (m *OverlapMatrix) MeanOffDiagonal(row int, exclude ...int) float64 {
+	skip := map[int]bool{row: true}
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	total, n := 0.0, 0
+	for j := range m.Labels {
+		if skip[j] {
+			continue
+		}
+		total += m.Frac[row][j]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"unclean/internal/ipset"
+)
+
+func TestOverlapKnown(t *testing.T) {
+	a := ipset.MustParse("10.1.1.1 10.2.2.2")   // blocks 10.1.1, 10.2.2
+	b := ipset.MustParse("10.1.1.200 99.9.9.9") // shares 10.1.1
+	c := ipset.MustParse("50.5.5.5")            // shares nothing
+	m, err := Overlap([]string{"a", "b", "c"}, []ipset.Set{a, b, c}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Blocks[0] != 2 || m.Blocks[1] != 2 || m.Blocks[2] != 1 {
+		t.Fatalf("blocks = %v", m.Blocks)
+	}
+	if m.Frac[0][0] != 1 || m.Frac[1][1] != 1 {
+		t.Error("diagonal not 1")
+	}
+	if m.Frac[0][1] != 0.5 { // one of a's two blocks contains b
+		t.Errorf("Frac[a][b] = %v, want 0.5", m.Frac[0][1])
+	}
+	if m.Frac[1][0] != 0.5 {
+		t.Errorf("Frac[b][a] = %v, want 0.5", m.Frac[1][0])
+	}
+	if m.Frac[0][2] != 0 || m.Frac[2][0] != 0 {
+		t.Error("unrelated sets should overlap 0")
+	}
+	if !strings.Contains(m.String(), "blocks") {
+		t.Error("String missing header")
+	}
+}
+
+func TestOverlapAsymmetry(t *testing.T) {
+	// A small dense set inside a big one: the small set's blocks are
+	// fully covered; the big set's mostly are not.
+	big := ipset.MustParse("10.1.1.1 10.2.2.2 10.3.3.3 10.4.4.4")
+	small := ipset.MustParse("10.1.1.50")
+	m, err := Overlap([]string{"big", "small"}, []ipset.Set{big, small}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frac[1][0] != 1 {
+		t.Errorf("small->big = %v, want 1", m.Frac[1][0])
+	}
+	if m.Frac[0][1] != 0.25 {
+		t.Errorf("big->small = %v, want 0.25", m.Frac[0][1])
+	}
+}
+
+func TestOverlapErrors(t *testing.T) {
+	s := ipset.MustParse("1.1.1.1")
+	if _, err := Overlap([]string{"a"}, []ipset.Set{s, s}, 24); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := Overlap(nil, nil, 24); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Overlap([]string{"a"}, []ipset.Set{{}}, 24); err == nil {
+		t.Error("empty report accepted")
+	}
+	if _, err := Overlap([]string{"a"}, []ipset.Set{s}, 40); err == nil {
+		t.Error("bad bits accepted")
+	}
+}
+
+func TestMeanOffDiagonal(t *testing.T) {
+	a := ipset.MustParse("10.1.1.1")
+	b := ipset.MustParse("10.1.1.2")
+	c := ipset.MustParse("99.9.9.9")
+	m, err := Overlap([]string{"a", "b", "c"}, []ipset.Set{a, b, c}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row a: overlaps b fully (same /24), c not at all -> mean 0.5.
+	if got := m.MeanOffDiagonal(0); got != 0.5 {
+		t.Errorf("mean = %v, want 0.5", got)
+	}
+	// Excluding c leaves only b: mean 1.
+	if got := m.MeanOffDiagonal(0, 2); got != 1 {
+		t.Errorf("mean excluding c = %v, want 1", got)
+	}
+	// Excluding everything yields 0.
+	if got := m.MeanOffDiagonal(0, 1, 2); got != 0 {
+		t.Errorf("fully-excluded mean = %v, want 0", got)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"unclean/internal/ipset"
+	"unclean/internal/stats"
+)
+
+// PredictRow is one prefix length of a temporal uncleanliness test.
+type PredictRow struct {
+	// Bits is the prefix length n.
+	Bits int
+	// Observed is |C_n(R_past) ∩ C_n(R_present)| (Eq. 4 left side).
+	Observed int
+	// Control summarizes the intersection counts of size-matched random
+	// control subsets with R_present.
+	Control stats.Boxplot
+	// FractionBeaten is the fraction of control draws the past report
+	// strictly beats (Observed > draw).
+	FractionBeaten float64
+	// Better applies the paper's criterion: the report is a better
+	// predictor at n if it beats the control in at least 95% of draws.
+	Better bool
+}
+
+// PredictResult is the outcome of a temporal uncleanliness test.
+type PredictResult struct {
+	Rows []PredictRow
+	// Holds reports Eq. 5: there exists a prefix length in the range at
+	// which the past unclean report is the better predictor.
+	Holds bool
+	// BandLo and BandHi bound the longest contiguous run of prefix
+	// lengths at which the report is better; both are -1 when Holds is
+	// false. The paper reports e.g. bots 20–25, spam 19–32.
+	BandLo, BandHi int
+	// Draws is the number of control subsets sampled.
+	Draws int
+	// Threshold is the win-fraction criterion used (0.95 in the paper).
+	Threshold float64
+}
+
+// PredictiveCapacity runs the temporal uncleanliness test (§5.1): does
+// C_n(past) intersect C_n(present) more than C_n(random control subset of
+// |past| addresses) does, at each prefix length in pr? The criterion is
+// the paper's: past must beat the control draw in at least `threshold`
+// (typically 0.95) of `draws` random subsets.
+func PredictiveCapacity(past, present, control ipset.Set, draws int, threshold float64, pr PrefixRange, rng *stats.RNG) (PredictResult, error) {
+	if err := pr.Validate(); err != nil {
+		return PredictResult{}, err
+	}
+	if past.IsEmpty() || present.IsEmpty() {
+		return PredictResult{}, fmt.Errorf("core: empty report in prediction test")
+	}
+	if draws < 1 {
+		return PredictResult{}, fmt.Errorf("core: need at least one control draw")
+	}
+	if threshold <= 0 || threshold > 1 {
+		return PredictResult{}, fmt.Errorf("core: threshold must be in (0,1]")
+	}
+	if past.Len() > control.Len() {
+		return PredictResult{}, fmt.Errorf("core: control population (%d) smaller than past report (%d)",
+			control.Len(), past.Len())
+	}
+	res := PredictResult{Draws: draws, Threshold: threshold, BandLo: -1, BandHi: -1}
+	dist := control.SampleIntersections(present, draws, past.Len(), pr.Lo, pr.Hi, rng)
+	for n := pr.Lo; n <= pr.Hi; n++ {
+		i := n - pr.Lo
+		row := PredictRow{
+			Bits:     n,
+			Observed: past.BlockIntersectCount(present, n),
+			Control:  stats.Summarize(dist[i]),
+		}
+		beaten := 0
+		for _, v := range dist[i] {
+			if float64(row.Observed) > v {
+				beaten++
+			}
+		}
+		row.FractionBeaten = float64(beaten) / float64(draws)
+		row.Better = row.FractionBeaten >= threshold
+		if row.Better {
+			res.Holds = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.BandLo, res.BandHi = longestBetterRun(res.Rows)
+	return res, nil
+}
+
+// longestBetterRun finds the longest contiguous run of Better rows.
+func longestBetterRun(rows []PredictRow) (lo, hi int) {
+	lo, hi = -1, -1
+	bestLen := 0
+	runStart := -1
+	for i, row := range rows {
+		if row.Better {
+			if runStart < 0 {
+				runStart = i
+			}
+			if runLen := i - runStart + 1; runLen > bestLen {
+				bestLen = runLen
+				lo, hi = rows[runStart].Bits, rows[i].Bits
+			}
+		} else {
+			runStart = -1
+		}
+	}
+	return lo, hi
+}
+
+// CrossPrediction runs PredictiveCapacity of one past report against
+// several present reports, returning results keyed by the present
+// report's label — the Figure 4 panel (bot-test against bot, phish,
+// spam, scan).
+func CrossPrediction(past ipset.Set, presents map[string]ipset.Set, control ipset.Set, draws int, threshold float64, pr PrefixRange, rng *stats.RNG) (map[string]PredictResult, error) {
+	labels := make([]string, 0, len(presents))
+	for label := range presents {
+		labels = append(labels, label)
+	}
+	// Deterministic order: forking advances the parent generator, so map
+	// iteration order must not leak into the results.
+	sort.Strings(labels)
+	out := make(map[string]PredictResult, len(presents))
+	for _, label := range labels {
+		res, err := PredictiveCapacity(past, presents[label], control, draws, threshold, pr, rng.Fork(hashLabel(label)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		out[label] = res
+	}
+	return out, nil
+}
+
+// hashLabel derives a stable fork label from a string (FNV-1a).
+func hashLabel(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+	"unclean/internal/stats"
+)
+
+// persistentWorldSets builds a miniature Internet with the structure the
+// temporal test exploits: a universe of 300 active /16s, of which 150 are
+// unclean; a past report confined to 20 unclean /16s (specific /24s); a
+// present report spread across all unclean /16s but revisiting the past
+// report's /24s (temporal uncleanliness); and a control population over
+// the whole universe. Past and present never share a /32: host octets are
+// disjoint (past uses .1-.100, present .101-.254).
+func persistentWorldSets(rng *stats.RNG) (past, present, control ipset.Set) {
+	universe := make([]netaddr.Addr, 300) // /16 bases
+	for i := range universe {
+		universe[i] = netaddr.Addr(rng.Uint32()).Mask(16)
+	}
+	unclean16 := universe[:150]
+	past16 := unclean16[:20]
+
+	pick := func(n int, bases []netaddr.Addr, loHost, hiHost int) ipset.Set {
+		seen := make(map[netaddr.Addr]struct{}, n)
+		b := ipset.NewBuilder(n)
+		for len(seen) < n {
+			base := bases[rng.Intn(len(bases))]
+			a := base + netaddr.Addr(uint32(loHost)+uint32(rng.Intn(hiHost-loHost+1)))
+			if _, dup := seen[a]; !dup {
+				seen[a] = struct{}{}
+				b.Add(a)
+			}
+		}
+		return b.Build()
+	}
+	// Past: 100 addrs in fixed /24s (octet-three 7) of the past /16s.
+	past24 := make([]netaddr.Addr, len(past16))
+	for i, base := range past16 {
+		past24[i] = base + netaddr.Addr(7<<8)
+	}
+	past = pick(100, past24, 1, 100)
+	// Present: 300 addrs anywhere in unclean /16s + 100 in past's /24s,
+	// with a host range disjoint from past's.
+	unclean24 := make([]netaddr.Addr, 0, len(unclean16)*4)
+	for _, base := range unclean16 {
+		for _, third := range []uint32{3, 9, 11, 200} {
+			unclean24 = append(unclean24, base+netaddr.Addr(third<<8))
+		}
+	}
+	present = pick(300, unclean24, 101, 254).Union(pick(100, past24, 101, 254))
+	// Control: the whole universe's active space.
+	control = pick(30000, universe, 1, 254)
+	return past, present, control
+}
+
+func TestPredictiveCapacityDetectsPersistence(t *testing.T) {
+	rng := stats.NewRNG(10)
+	past, present, control := persistentWorldSets(rng)
+	res, err := PredictiveCapacity(past, present, control, 200, 0.95, DefaultPrefixRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("persistent unclean blocks not detected as predictive")
+	}
+	if res.BandLo < 0 || res.BandHi < res.BandLo {
+		t.Fatalf("band = [%d,%d]", res.BandLo, res.BandHi)
+	}
+	// /24 must be inside the better band: past and present literally
+	// share /24s.
+	if res.BandLo > 24 || res.BandHi < 24 {
+		t.Errorf("better band [%d,%d] does not include /24", res.BandLo, res.BandHi)
+	}
+	r24 := res.Rows[24-16]
+	if !r24.Better || r24.Observed == 0 {
+		t.Errorf("/24 row = %+v", r24)
+	}
+	// At /32 there is no address overlap by construction, so past and
+	// control are equally non-predictive.
+	r32 := res.Rows[32-16]
+	if r32.Observed != 0 {
+		t.Errorf("/32 observed = %d, want 0 (no shared addresses)", r32.Observed)
+	}
+}
+
+func TestPredictiveCapacityNullCase(t *testing.T) {
+	// Past drawn from the control population itself must NOT beat the
+	// control at ~any prefix length.
+	rng := stats.NewRNG(11)
+	control := scatteredSet(rng, 30000)
+	past := control.Sample(100, rng)
+	present := control.Sample(400, rng)
+	res, err := PredictiveCapacity(past, present, control, 200, 0.95, DefaultPrefixRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better := 0
+	for _, row := range res.Rows {
+		if row.Better {
+			better++
+		}
+	}
+	if better > 1 {
+		t.Errorf("null case flagged better at %d prefixes", better)
+	}
+}
+
+func TestPredictiveCapacityShortPrefixCrossover(t *testing.T) {
+	// The spatial-uncleanliness side effect (§5.1): at short prefixes a
+	// spread-out control covers more blocks and gets more imprecise
+	// hits, so the unclean report loses its edge. With a dense past
+	// report and a large present population, FractionBeaten at /16
+	// should be below the threshold while /24 is above.
+	rng := stats.NewRNG(12)
+	past, present, control := persistentWorldSets(rng)
+	res, err := PredictiveCapacity(past, present, control, 200, 0.95, DefaultPrefixRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16 := res.Rows[0]
+	r24 := res.Rows[24-16]
+	if r16.FractionBeaten >= r24.FractionBeaten {
+		t.Errorf("expected weaker prediction at /16 (%v) than /24 (%v)",
+			r16.FractionBeaten, r24.FractionBeaten)
+	}
+}
+
+func TestPredictiveCapacityErrors(t *testing.T) {
+	rng := stats.NewRNG(13)
+	control := scatteredSet(rng, 1000)
+	s := control.Sample(50, rng)
+	cases := []func() error{
+		func() error {
+			_, err := PredictiveCapacity(ipset.Set{}, s, control, 10, 0.95, DefaultPrefixRange(), rng)
+			return err
+		},
+		func() error {
+			_, err := PredictiveCapacity(s, ipset.Set{}, control, 10, 0.95, DefaultPrefixRange(), rng)
+			return err
+		},
+		func() error {
+			_, err := PredictiveCapacity(s, s, control, 0, 0.95, DefaultPrefixRange(), rng)
+			return err
+		},
+		func() error {
+			_, err := PredictiveCapacity(s, s, control, 10, 1.5, DefaultPrefixRange(), rng)
+			return err
+		},
+		func() error {
+			_, err := PredictiveCapacity(control, s, s, 10, 0.95, DefaultPrefixRange(), rng)
+			return err
+		},
+		func() error {
+			_, err := PredictiveCapacity(s, s, control, 10, 0.95, PrefixRange{30, 20}, rng)
+			return err
+		},
+	}
+	for i, fn := range cases {
+		if fn() == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestCrossPrediction(t *testing.T) {
+	rng := stats.NewRNG(14)
+	past, present, control := persistentWorldSets(rng)
+	unrelated := scatteredSet(rng, 400) // the "phish" analogue
+	results, err := CrossPrediction(past, map[string]ipset.Set{
+		"related":   present,
+		"unrelated": unrelated,
+	}, control, 150, 0.95, DefaultPrefixRange(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results["related"].Holds {
+		t.Error("related report should be predictable")
+	}
+	if results["unrelated"].Holds {
+		t.Error("unrelated report should not be predictable")
+	}
+}
+
+func TestCrossPredictionDeterministicPerLabel(t *testing.T) {
+	rng1 := stats.NewRNG(15)
+	past, present, control := persistentWorldSets(rng1)
+	run := func(seed uint64) map[string]PredictResult {
+		r, err := CrossPrediction(past, map[string]ipset.Set{"a": present, "b": present},
+			control, 50, 0.95, PrefixRange{20, 26}, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	x, y := run(77), run(77)
+	for _, label := range []string{"a", "b"} {
+		for i := range x[label].Rows {
+			if x[label].Rows[i] != y[label].Rows[i] {
+				t.Fatalf("label %s row %d differs across identical runs", label, i)
+			}
+		}
+	}
+}
+
+func TestLongestBetterRun(t *testing.T) {
+	mk := func(better ...bool) []PredictRow {
+		rows := make([]PredictRow, len(better))
+		for i, b := range better {
+			rows[i] = PredictRow{Bits: 16 + i, Better: b}
+		}
+		return rows
+	}
+	cases := []struct {
+		rows           []PredictRow
+		wantLo, wantHi int
+	}{
+		{mk(false, false), -1, -1},
+		{mk(true, true, false), 16, 17},
+		{mk(false, true, true, true, false, true), 17, 19},
+		{mk(true, false, true, true), 18, 19},
+	}
+	for i, c := range cases {
+		lo, hi := longestBetterRun(c.rows)
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("case %d: run = [%d,%d], want [%d,%d]", i, lo, hi, c.wantLo, c.wantHi)
+		}
+	}
+}

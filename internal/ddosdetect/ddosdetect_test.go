@@ -1,0 +1,147 @@
+package ddosdetect
+
+import (
+	"testing"
+	"time"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
+)
+
+var t0 = time.Date(2006, 10, 3, 14, 0, 0, 0, time.UTC)
+
+func synFlood(srcIdx int, dst string, at time.Time) netflow.Record {
+	return netflow.Record{
+		SrcAddr: netaddr.MakeAddr(60, byte(srcIdx>>8), byte(srcIdx), 7),
+		DstAddr: netaddr.MustParseAddr(dst),
+		Packets: 3, Octets: 132,
+		First: at, Last: at.Add(5 * time.Second),
+		SrcPort: 2000, DstPort: 80,
+		TCPFlags: netflow.FlagSYN, Proto: netflow.ProtoTCP,
+	}
+}
+
+func session(srcIdx int, dst string, at time.Time) netflow.Record {
+	r := synFlood(srcIdx, dst, at)
+	r.TCPFlags = netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH | netflow.FlagFIN
+	r.Packets, r.Octets = 20, 20*40+5000
+	return r
+}
+
+func flood(nSources, flowsPer int, dst string) []netflow.Record {
+	var out []netflow.Record
+	for s := 0; s < nSources; s++ {
+		for f := 0; f < flowsPer; f++ {
+			out = append(out, synFlood(s, dst, t0.Add(time.Duration(s*flowsPer+f)*time.Second)))
+		}
+	}
+	return out
+}
+
+func TestDetectFlood(t *testing.T) {
+	records := flood(60, 5, "30.0.4.1") // 60 sources, 300 flows, all failed
+	attacks, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attacks) != 1 {
+		t.Fatalf("attacks = %d, want 1", len(attacks))
+	}
+	a := attacks[0]
+	if a.Target != netaddr.MustParseAddr("30.0.4.1") || a.Sources.Len() != 60 || a.Flows != 300 {
+		t.Fatalf("attack = %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDetectIgnoresFlashCrowd(t *testing.T) {
+	// Many sources, high volume, but payload-bearing sessions: a flash
+	// crowd, not an attack.
+	var records []netflow.Record
+	for s := 0; s < 80; s++ {
+		for f := 0; f < 4; f++ {
+			records = append(records, session(s, "30.0.4.1", t0.Add(time.Duration(s)*time.Second)))
+		}
+	}
+	attacks, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attacks) != 0 {
+		t.Fatalf("flash crowd flagged: %v", attacks)
+	}
+}
+
+func TestDetectIgnoresSmallFloods(t *testing.T) {
+	// Too few sources.
+	attacks, err := Detect(flood(10, 30, "30.0.4.1"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attacks) != 0 {
+		t.Fatalf("small-source flood flagged: %v", attacks)
+	}
+	// Too few flows.
+	attacks, err = Detect(flood(50, 2, "30.0.4.1"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attacks) != 0 {
+		t.Fatalf("low-volume flood flagged: %v", attacks)
+	}
+}
+
+func TestDetectSeparatesTargetsAndWindows(t *testing.T) {
+	records := flood(60, 5, "30.0.4.1")
+	records = append(records, flood(60, 5, "30.0.4.2")...)
+	// Same target attacked again three hours later.
+	for _, r := range flood(60, 5, "30.0.4.1") {
+		r.First = r.First.Add(3 * time.Hour)
+		r.Last = r.Last.Add(3 * time.Hour)
+		records = append(records, r)
+	}
+	attacks, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attacks) != 3 {
+		t.Fatalf("attacks = %d, want 3", len(attacks))
+	}
+	for i := 1; i < len(attacks); i++ {
+		if attacks[i].Start.Before(attacks[i-1].Start) {
+			t.Fatal("attacks not ordered by window")
+		}
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	records := flood(60, 5, "30.0.4.1")
+	records = append(records, flood(60, 5, "30.0.4.2")...) // same 60 sources
+	attacks, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Participants(attacks)
+	if p.Len() != 60 {
+		t.Fatalf("participants = %d, want 60 (dedup across attacks)", p.Len())
+	}
+	if Participants(nil).Len() != 0 {
+		t.Fatal("empty participants wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Window: 0, MinSources: 40, MinFlows: 200, MinFailureRatio: 0.8},
+		{Window: time.Hour, MinSources: 1, MinFlows: 200, MinFailureRatio: 0.8},
+		{Window: time.Hour, MinSources: 40, MinFlows: 0, MinFailureRatio: 0.8},
+		{Window: time.Hour, MinSources: 40, MinFlows: 200, MinFailureRatio: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Detect(nil, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

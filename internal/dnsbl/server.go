@@ -1,0 +1,193 @@
+package dnsbl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"unclean/internal/blocklist"
+	"unclean/internal/netaddr"
+)
+
+// Server answers DNSBL queries for one zone out of a blocklist trie. The
+// rule's Reason selects the return code: reasons containing "bot",
+// "scan", "spam" or "phish" map to the corresponding 127.0.0.x code,
+// anything else to the generic code.
+type Server struct {
+	zone string
+	ttl  uint32
+
+	mu   sync.RWMutex
+	list *blocklist.Trie
+
+	queries, listedHits int
+}
+
+// NewServer builds a server for zone backed by list.
+func NewServer(zone string, list *blocklist.Trie, ttl time.Duration) (*Server, error) {
+	if zone == "" {
+		return nil, fmt.Errorf("dnsbl: empty zone")
+	}
+	if list == nil {
+		return nil, fmt.Errorf("dnsbl: nil blocklist")
+	}
+	if ttl < time.Second {
+		return nil, fmt.Errorf("dnsbl: TTL below one second")
+	}
+	return &Server{zone: strings.TrimSuffix(zone, "."), ttl: uint32(ttl / time.Second), list: list}, nil
+}
+
+// SetList atomically replaces the served blocklist (live reload).
+func (s *Server) SetList(list *blocklist.Trie) {
+	s.mu.Lock()
+	s.list = list
+	s.mu.Unlock()
+}
+
+// Stats returns how many queries were served and how many hit a listing.
+func (s *Server) Stats() (queries, listed int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queries, s.listedHits
+}
+
+// Serve answers queries on conn until the connection is closed.
+func (s *Server) Serve(conn net.PacketConn) error {
+	buf := make([]byte, maxMessage)
+	for {
+		n, peer, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		resp := s.handle(buf[:n])
+		if resp == nil {
+			continue // unparseable: drop, as real servers do
+		}
+		if _, err := conn.WriteTo(resp, peer); err != nil && !errors.Is(err, net.ErrClosed) {
+			return err
+		}
+	}
+}
+
+// handle builds the response bytes for one query packet, or nil to drop.
+func (s *Server) handle(pkt []byte) []byte {
+	q, err := Decode(pkt)
+	if err != nil || q.Response || len(q.Questions) != 1 {
+		return nil
+	}
+	s.mu.Lock()
+	s.queries++
+	list := s.list
+	s.mu.Unlock()
+
+	question := q.Questions[0]
+	resp := &Message{
+		ID:                 q.ID,
+		Response:           true,
+		Authoritative:      true,
+		RecursionDesired:   q.RecursionDesired,
+		RecursionAvailable: false,
+		Questions:          []Question{question},
+	}
+	addr, ok := ParseQueryName(question.Name, s.zone)
+	switch {
+	case !ok:
+		resp.RCode = RCodeNXDomain
+	case question.Type != TypeA || question.Class != ClassIN:
+		resp.RCode = RCodeOK // name exists; no data of that type
+	default:
+		entry, listed := list.Lookup(addr)
+		if !listed {
+			resp.RCode = RCodeNXDomain
+		} else {
+			s.mu.Lock()
+			s.listedHits++
+			s.mu.Unlock()
+			code := codeFor(entry.Reason)
+			o0, o1, o2, o3 := code.Octets()
+			resp.Answers = append(resp.Answers, Answer{
+				Name:  question.Name,
+				Type:  TypeA,
+				Class: ClassIN,
+				TTL:   s.ttl,
+				Data:  []byte{o0, o1, o2, o3},
+			})
+		}
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func codeFor(reason string) netaddr.Addr {
+	r := strings.ToLower(reason)
+	switch {
+	case strings.Contains(r, "bot"):
+		return CodeBot
+	case strings.Contains(r, "scan"):
+		return CodeScan
+	case strings.Contains(r, "spam"):
+		return CodeSpam
+	case strings.Contains(r, "phish"):
+		return CodePhish
+	}
+	return CodeGeneric
+}
+
+// Lookup performs a DNSBL query against server (a UDP address) and
+// reports whether addr is listed, with the return code when it is.
+func Lookup(server string, zone string, addr netaddr.Addr, timeout time.Duration) (listed bool, code netaddr.Addr, err error) {
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return false, 0, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return false, 0, err
+	}
+	q := &Message{
+		ID:               uint16(time.Now().UnixNano()) | 1,
+		RecursionDesired: true,
+		Questions: []Question{{
+			Name:  QueryName(addr, zone),
+			Type:  TypeA,
+			Class: ClassIN,
+		}},
+	}
+	pkt, err := q.Encode()
+	if err != nil {
+		return false, 0, err
+	}
+	if _, err := conn.Write(pkt); err != nil {
+		return false, 0, err
+	}
+	buf := make([]byte, maxMessage)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := Decode(buf[:n])
+	if err != nil {
+		return false, 0, err
+	}
+	if resp.ID != q.ID || !resp.Response {
+		return false, 0, fmt.Errorf("dnsbl: mismatched response")
+	}
+	if resp.RCode == RCodeNXDomain {
+		return false, 0, nil
+	}
+	for _, a := range resp.Answers {
+		if a.Type == TypeA && len(a.Data) == 4 {
+			return true, netaddr.MakeAddr(a.Data[0], a.Data[1], a.Data[2], a.Data[3]), nil
+		}
+	}
+	return false, 0, nil
+}

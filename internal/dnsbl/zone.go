@@ -1,0 +1,49 @@
+package dnsbl
+
+import (
+	"fmt"
+	"strings"
+
+	"unclean/internal/netaddr"
+)
+
+// Return codes in the 127.0.0.0/8 convention. Listed addresses answer
+// with a code describing why — one bit of the paper's multidimensional
+// metric surfaced to queriers.
+var (
+	CodeGeneric = netaddr.MustParseAddr("127.0.0.2")
+	CodeBot     = netaddr.MustParseAddr("127.0.0.3")
+	CodeScan    = netaddr.MustParseAddr("127.0.0.4")
+	CodeSpam    = netaddr.MustParseAddr("127.0.0.5")
+	CodePhish   = netaddr.MustParseAddr("127.0.0.6")
+)
+
+// QueryName builds the DNSBL query name for an address: the reversed
+// octets prepended to the zone, e.g. 14.135.1.127 + "bl.example" for
+// 127.1.135.14.
+func QueryName(a netaddr.Addr, zone string) string {
+	o0, o1, o2, o3 := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d.%s", o3, o2, o1, o0, strings.TrimSuffix(zone, "."))
+}
+
+// ParseQueryName extracts the queried address from a DNSBL query name,
+// verifying the zone suffix (case-insensitively).
+func ParseQueryName(name, zone string) (netaddr.Addr, bool) {
+	name = strings.TrimSuffix(name, ".")
+	zone = strings.TrimSuffix(zone, ".")
+	if len(name) <= len(zone) || !strings.EqualFold(name[len(name)-len(zone):], zone) {
+		return 0, false
+	}
+	rest := strings.TrimSuffix(name[:len(name)-len(zone)], ".")
+	parts := strings.Split(rest, ".")
+	if len(parts) != 4 {
+		return 0, false
+	}
+	// Reassemble in network order: query is d.c.b.a.
+	reversed := parts[3] + "." + parts[2] + "." + parts[1] + "." + parts[0]
+	a, err := netaddr.ParseAddr(reversed)
+	if err != nil {
+		return 0, false
+	}
+	return a, true
+}

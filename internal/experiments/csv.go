@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"unclean/internal/core"
+)
+
+// CSVer is implemented by results whose data series can be exported for
+// external plotting; `uncleanctl run -format csv` uses it.
+type CSVer interface {
+	// CSV returns the result's data as an RFC-4180-style table with a
+	// header row. Fields never contain commas, so no quoting is needed.
+	CSV() string
+}
+
+type csvBuilder struct {
+	b strings.Builder
+}
+
+func (c *csvBuilder) row(cells ...string) {
+	c.b.WriteString(strings.Join(cells, ","))
+	c.b.WriteByte('\n')
+}
+
+func (c *csvBuilder) rowf(format string, args ...any) {
+	fmt.Fprintf(&c.b, format, args...)
+	c.b.WriteByte('\n')
+}
+
+func (c *csvBuilder) String() string { return c.b.String() }
+
+// CSV exports the Figure 1 time series.
+func (r *Figure1Result) CSV() string {
+	var c csvBuilder
+	c.row("date", "scanners", "bot_addrs_scanning", "bot_24s_scanning", "is_report_day")
+	for i, d := range r.Dates {
+		isReport := 0
+		if i == r.ReportDay {
+			isReport = 1
+		}
+		c.rowf("%s,%d,%d,%d,%d", d.Format("2006-01-02"), r.Scanners[i], r.BotAddrScanning[i], r.Bot24Scanning[i], isReport)
+	}
+	return c.String()
+}
+
+func densityCSV(d core.DensityResult, withNaive bool) string {
+	var c csvBuilder
+	if withNaive {
+		c.row("prefix", "observed_blocks", "control_min", "control_q1", "control_median", "control_q3", "control_max", "naive", "p_denser")
+	} else {
+		c.row("prefix", "observed_blocks", "control_min", "control_q1", "control_median", "control_q3", "control_max", "p_denser")
+	}
+	for _, row := range d.Rows {
+		base := fmt.Sprintf("%d,%d,%.0f,%.1f,%.1f,%.1f,%.0f", row.Bits, row.Observed,
+			row.Control.Min, row.Control.Q1, row.Control.Median, row.Control.Q3, row.Control.Max)
+		if withNaive {
+			c.rowf("%s,%d,%.4f", base, row.Naive, row.FractionDenser)
+		} else {
+			c.rowf("%s,%.4f", base, row.FractionDenser)
+		}
+	}
+	return c.String()
+}
+
+// CSV exports the Figure 2 density comparison.
+func (r *Figure2Result) CSV() string { return densityCSV(r.Density, true) }
+
+// CSV exports all four Figure 3 panels, prefixed by a panel column.
+func (r *Figure3Result) CSV() string {
+	var c csvBuilder
+	c.row("panel", "prefix", "observed_blocks", "control_min", "control_median", "control_max", "p_denser")
+	for _, tag := range r.Order {
+		for _, row := range r.Panels[tag].Rows {
+			c.rowf("%s,%d,%d,%.0f,%.1f,%.0f,%.4f", tag, row.Bits, row.Observed,
+				row.Control.Min, row.Control.Median, row.Control.Max, row.FractionDenser)
+		}
+	}
+	return c.String()
+}
+
+func predictCSV(c *csvBuilder, panel string, p core.PredictResult) {
+	for _, row := range p.Rows {
+		better := 0
+		if row.Better {
+			better = 1
+		}
+		c.rowf("%s,%d,%d,%.0f,%.1f,%.0f,%.4f,%d", panel, row.Bits, row.Observed,
+			row.Control.Min, row.Control.Median, row.Control.Max, row.FractionBeaten, better)
+	}
+}
+
+// CSV exports all four Figure 4 panels.
+func (r *Figure4Result) CSV() string {
+	var c csvBuilder
+	c.row("panel", "prefix", "observed_intersection", "control_min", "control_median", "control_max", "p_beat_control", "better")
+	for _, tag := range r.Order {
+		predictCSV(&c, tag, r.Panels[tag])
+	}
+	return c.String()
+}
+
+// CSV exports the Figure 5 series.
+func (r *Figure5Result) CSV() string {
+	var c csvBuilder
+	c.row("panel", "prefix", "observed_intersection", "control_min", "control_median", "control_max", "p_beat_control", "better")
+	predictCSV(&c, "phish-self", r.Prediction)
+	return c.String()
+}
+
+// CSV exports the Table 3 sweep.
+func (r *Table3Result) CSV() string {
+	var c csvBuilder
+	c.row("n", "tp", "fp", "pop", "unknown", "tp_rate", "tp_rate_unknown_hostile")
+	for _, row := range r.Rows {
+		c.rowf("%d,%d,%d,%d,%d,%.4f,%.4f", row.Bits, row.TP, row.FP, row.Pop, row.Unknown,
+			row.TPRate(), row.TPRateAssumingUnknownHostile())
+	}
+	return c.String()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"unclean/internal/core"
+	"unclean/internal/ipset"
+	"unclean/internal/netmodel"
+	"unclean/internal/stats"
+)
+
+// Figure2Result reproduces Figure 2: comparison of the naive and
+// empirical density estimation techniques against the actual botnet
+// density, over prefix lengths 16–32.
+type Figure2Result struct {
+	Density core.DensityResult
+}
+
+// Figure2 runs the comparison.
+func Figure2(ds *Dataset) (*Figure2Result, error) {
+	bot := ds.Report("bot").Addrs
+	control := ds.Report("control").Addrs
+	rng := stats.NewRNG(ds.Cfg.Seed ^ 0xf162)
+	naive := netmodel.NaiveSample(bot.Len(), rng)
+	res, err := core.SpatialDensity(bot, control, naive, ds.Cfg.Draws, core.DefaultPrefixRange(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure2Result{Density: res}, nil
+}
+
+// ID implements Result.
+func (r *Figure2Result) ID() string { return "fig2" }
+
+// Title implements Result.
+func (r *Figure2Result) Title() string {
+	return "Figure 2: naive vs empirical density estimates vs actual botnet density"
+}
+
+// Render implements Result.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	t := newTable("Prefix", "Bot blocks", "Empirical (median)", "Empirical (min..max)", "Naive", "P(denser)")
+	for _, row := range r.Density.Rows {
+		t.addRow(fmt.Sprintf("/%d", row.Bits),
+			fmt.Sprintf("%d", row.Observed),
+			fmt.Sprintf("%.0f", row.Control.Median),
+			fmt.Sprintf("%.0f..%.0f", row.Control.Min, row.Control.Max),
+			fmt.Sprintf("%d", row.Naive),
+			fmt.Sprintf("%.3f", row.FractionDenser))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nspatial uncleanliness (Eq. 3) holds: %v\n", r.Density.Holds)
+	return b.String()
+}
+
+// Figure3Result reproduces Figure 3: comparative density of each unclean
+// report against empirically estimated control populations.
+type Figure3Result struct {
+	// Panels holds results keyed by the paper's panel order: bot, phish,
+	// spam, scan.
+	Panels map[string]core.DensityResult
+	// Order preserves the paper's panel order for rendering.
+	Order []string
+}
+
+// Figure3 runs the four-panel comparison.
+func Figure3(ds *Dataset) (*Figure3Result, error) {
+	control := ds.Report("control").Addrs
+	res := &Figure3Result{
+		Panels: make(map[string]core.DensityResult),
+		Order:  []string{"bot", "phish", "spam", "scan"},
+	}
+	for i, tag := range res.Order {
+		addrs := ds.Report(tag).Addrs
+		if addrs.Len() > control.Len() {
+			return nil, fmt.Errorf("experiments: %s report larger than control", tag)
+		}
+		rng := stats.NewRNG(ds.Cfg.Seed ^ 0xf163 ^ uint64(i)<<8)
+		d, err := core.SpatialDensity(addrs, control, ipset.Set{}, ds.Cfg.Draws, core.DefaultPrefixRange(), rng)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tag, err)
+		}
+		res.Panels[tag] = d
+	}
+	return res, nil
+}
+
+// ID implements Result.
+func (r *Figure3Result) ID() string { return "fig3" }
+
+// Title implements Result.
+func (r *Figure3Result) Title() string {
+	return "Figure 3: comparative density of unclean reports vs control"
+}
+
+// Render implements Result.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	for i, tag := range r.Order {
+		d := r.Panels[tag]
+		fmt.Fprintf(&b, "(%s) R_%s  [Eq. 3 holds: %v]\n", panelLabel(i), tag, d.Holds)
+		t := newTable("Prefix", "Observed blocks", "Control median", "Control min..max", "P(denser)")
+		for _, row := range d.Rows {
+			t.addRow(fmt.Sprintf("/%d", row.Bits),
+				fmt.Sprintf("%d", row.Observed),
+				fmt.Sprintf("%.0f", row.Control.Median),
+				fmt.Sprintf("%.0f..%.0f", row.Control.Min, row.Control.Max),
+				fmt.Sprintf("%.3f", row.FractionDenser))
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func panelLabel(i int) string {
+	return [...]string{"i", "ii", "iii", "iv"}[i%4]
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import "fmt"
+
+// IDs lists the paper-artifact experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "table2", "table3"}
+}
+
+// ExtraIDs lists the extension experiments (not numbered paper
+// artifacts) available through Run.
+func ExtraIDs() []string {
+	return []string{"locality", "tracker", "overlap", "fig1d"}
+}
+
+// Run executes one experiment by ID against a dataset.
+func Run(ds *Dataset, id string) (Result, error) {
+	switch id {
+	case "table1":
+		return Table1(ds), nil
+	case "fig1":
+		return Figure1(ds), nil
+	case "fig2":
+		return Figure2(ds)
+	case "fig3":
+		return Figure3(ds)
+	case "fig4":
+		return Figure4(ds)
+	case "fig5":
+		return Figure5(ds)
+	case "table2":
+		return Table2(ds)
+	case "table3":
+		return Table3(ds)
+	case "locality":
+		return Locality(ds), nil
+	case "tracker":
+		return Tracker(ds)
+	case "overlap":
+		return Overlap(ds)
+	case "fig1d":
+		return Figure1Detected(ds)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (know %v + %v)", id, IDs(), ExtraIDs())
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(ds *Dataset) ([]Result, error) {
+	var out []Result
+	for _, id := range IDs() {
+		res, err := Run(ds, id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unclean/internal/core"
+	"unclean/internal/plot"
+)
+
+// WriteSVGs renders every figure (and the Table 3 sweep) as SVG files in
+// dir, returning the paths written. This is the literal "regenerate the
+// paper's figures" deliverable; the text/CSV renderings carry the same
+// data.
+func WriteSVGs(ds *Dataset, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	write := func(name string, c *plot.Chart) error {
+		svg, err := c.SVG()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, svg, 0o644); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+
+	// Figure 1: the scanning/botnet time series.
+	f1 := Figure1(ds)
+	days := make([]float64, len(f1.Dates))
+	scanners := make([]float64, len(f1.Dates))
+	botAddrs := make([]float64, len(f1.Dates))
+	bot24s := make([]float64, len(f1.Dates))
+	for i := range f1.Dates {
+		days[i] = float64(i)
+		scanners[i] = float64(f1.Scanners[i])
+		botAddrs[i] = float64(f1.BotAddrScanning[i])
+		bot24s[i] = float64(f1.Bot24Scanning[i])
+	}
+	if err := write("fig1.svg", &plot.Chart{
+		Title:  "Figure 1: scanning and botnet population (report at day " + fmt.Sprint(f1.ReportDay) + ")",
+		XLabel: "days since " + f1.Dates[0].Format("2006-01-02"),
+		YLabel: "unique hosts",
+		Series: []plot.Series{
+			{Label: "scanners/day", X: days, Y: scanners},
+			{Label: "bot /24s scanning", X: days, Y: bot24s},
+			{Label: "bot addrs scanning", X: days, Y: botAddrs},
+		},
+	}); err != nil {
+		return paths, err
+	}
+
+	// Figure 2: density estimates.
+	f2, err := Figure2(ds)
+	if err != nil {
+		return paths, err
+	}
+	if err := write("fig2.svg", densityChart(
+		"Figure 2: naive vs empirical estimates vs bot density", "bot", f2.Density, true)); err != nil {
+		return paths, err
+	}
+
+	// Figure 3 panels.
+	f3, err := Figure3(ds)
+	if err != nil {
+		return paths, err
+	}
+	for _, tag := range f3.Order {
+		name := fmt.Sprintf("fig3-%s.svg", tag)
+		title := fmt.Sprintf("Figure 3: comparative density of R_%s", tag)
+		if err := write(name, densityChart(title, tag, f3.Panels[tag], false)); err != nil {
+			return paths, err
+		}
+	}
+
+	// Figure 4 panels.
+	f4, err := Figure4(ds)
+	if err != nil {
+		return paths, err
+	}
+	for _, tag := range f4.Order {
+		name := fmt.Sprintf("fig4-%s.svg", tag)
+		title := fmt.Sprintf("Figure 4: R_bot-test predicting R_%s", tag)
+		if err := write(name, predictChart(title, f4.Panels[tag])); err != nil {
+			return paths, err
+		}
+	}
+
+	// Figure 5.
+	f5, err := Figure5(ds)
+	if err != nil {
+		return paths, err
+	}
+	if err := write("fig5.svg", predictChart(
+		"Figure 5: phishing history predicting phishing", f5.Prediction)); err != nil {
+		return paths, err
+	}
+
+	// Table 3 as the blocking sweep.
+	t3, err := Table3(ds)
+	if err != nil {
+		return paths, err
+	}
+	n := make([]float64, len(t3.Rows))
+	tp := make([]float64, len(t3.Rows))
+	fp := make([]float64, len(t3.Rows))
+	unknown := make([]float64, len(t3.Rows))
+	for i, row := range t3.Rows {
+		n[i] = float64(row.Bits)
+		tp[i] = float64(row.TP)
+		fp[i] = float64(row.FP)
+		unknown[i] = float64(row.Unknown)
+	}
+	if err := write("table3.svg", &plot.Chart{
+		Title:  "Table 3: blocking sweep over prefix length",
+		XLabel: "blocked prefix length", YLabel: "addresses",
+		XTickFormat: "/%.0f",
+		Series: []plot.Series{
+			{Label: "true positives", X: n, Y: tp},
+			{Label: "false positives", X: n, Y: fp},
+			{Label: "unknown (unscored)", X: n, Y: unknown, Dashed: true},
+		},
+	}); err != nil {
+		return paths, err
+	}
+	return paths, nil
+}
+
+func densityChart(title, tag string, d core.DensityResult, withNaive bool) *plot.Chart {
+	x := make([]float64, len(d.Rows))
+	observed := make([]float64, len(d.Rows))
+	median := make([]float64, len(d.Rows))
+	lo := make([]float64, len(d.Rows))
+	hi := make([]float64, len(d.Rows))
+	naive := make([]float64, len(d.Rows))
+	for i, row := range d.Rows {
+		x[i] = float64(row.Bits)
+		observed[i] = float64(row.Observed)
+		median[i] = row.Control.Median
+		lo[i], hi[i] = row.Control.Min, row.Control.Max
+		naive[i] = float64(row.Naive)
+	}
+	c := &plot.Chart{
+		Title: title, XLabel: "prefix length", YLabel: "distinct blocks",
+		XTickFormat: "/%.0f",
+		Series: []plot.Series{
+			{Label: "R_" + tag, X: x, Y: observed},
+			{Label: "control median", X: x, Y: median, Dashed: true},
+		},
+		Bands: []plot.Band{{Label: "control range", X: x, Lo: lo, Hi: hi}},
+	}
+	if withNaive {
+		c.Series = append(c.Series, plot.Series{Label: "naive estimate", X: x, Y: naive})
+	}
+	return c
+}
+
+func predictChart(title string, p core.PredictResult) *plot.Chart {
+	x := make([]float64, len(p.Rows))
+	observed := make([]float64, len(p.Rows))
+	median := make([]float64, len(p.Rows))
+	lo := make([]float64, len(p.Rows))
+	hi := make([]float64, len(p.Rows))
+	for i, row := range p.Rows {
+		x[i] = float64(row.Bits)
+		observed[i] = float64(row.Observed)
+		median[i] = row.Control.Median
+		lo[i], hi[i] = row.Control.Min, row.Control.Max
+	}
+	return &plot.Chart{
+		Title: title, XLabel: "prefix length", YLabel: "intersecting blocks",
+		XTickFormat: "/%.0f",
+		Series: []plot.Series{
+			{Label: "observed", X: x, Y: observed},
+			{Label: "control median", X: x, Y: median, Dashed: true},
+		},
+		Bands: []plot.Band{{Label: "control range", X: x, Lo: lo, Hi: hi}},
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Result reproduces Table 1: the report inventory, with a
+// paper-vs-measured comparison of cardinalities.
+type Table1Result struct {
+	ds *Dataset
+}
+
+// Table1 builds the Table 1 reproduction.
+func Table1(ds *Dataset) *Table1Result { return &Table1Result{ds: ds} }
+
+// ID implements Result.
+func (r *Table1Result) ID() string { return "table1" }
+
+// Title implements Result.
+func (r *Table1Result) Title() string {
+	return "Table 1: report inventory for spatial/temporal uncleanliness"
+}
+
+// PaperSizes returns the paper's cardinality for each tag.
+func PaperSizes() map[string]int {
+	return map[string]int{
+		"bot":      PaperBotSize,
+		"phish":    PaperPhishSize,
+		"scan":     PaperScanSize,
+		"spam":     PaperSpamSize,
+		"bot-test": PaperBotTestSize,
+		"control":  PaperControlSize,
+	}
+}
+
+// Render implements Result.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.ds.Inventory.Table())
+	b.WriteString("\n")
+	t := newTable("Tag", "Paper size", "Scaled target", "Measured", "Measured/target")
+	paper := PaperSizes()
+	for _, tag := range []string{"bot", "phish", "scan", "spam", "bot-test", "control"} {
+		rep := r.ds.Report(tag)
+		target := r.ds.World.ScaledSize(paper[tag])
+		if tag == "bot-test" {
+			target = paper[tag] // bot-test is small and kept unscaled
+		}
+		ratio := float64(rep.Size()) / float64(target)
+		t.addRow(tag, fmt.Sprintf("%d", paper[tag]), fmt.Sprintf("%d", target),
+			fmt.Sprintf("%d", rep.Size()), fmt.Sprintf("%.2f", ratio))
+	}
+	fmt.Fprintf(&b, "Scale = 1/%.0f of paper cardinalities (control capped at half the modeled population)\n\n",
+		1/r.ds.Cfg.Scale)
+	b.WriteString(t.String())
+	return b.String()
+}

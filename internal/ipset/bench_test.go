@@ -1,0 +1,84 @@
+package ipset
+
+import (
+	"testing"
+
+	"unclean/internal/stats"
+)
+
+func benchSets(b *testing.B, n int) (Set, Set) {
+	b.Helper()
+	rng := stats.NewRNG(1)
+	return randomSet(rng, n), randomSet(rng, n)
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := stats.NewRNG(2)
+	raw := make([]uint32, 100000)
+	for i := range raw {
+		raw[i] = rng.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := FromUint32s(raw)
+		if s.Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBlockCounts100k(b *testing.B) {
+	s, _ := benchSets(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := s.BlockCounts(16, 32)
+		if counts[0] == 0 {
+			b.Fatal("zero")
+		}
+	}
+}
+
+func BenchmarkBlockCountSingle100k(b *testing.B) {
+	s, _ := benchSets(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.BlockCount(24) == 0 {
+			b.Fatal("zero")
+		}
+	}
+}
+
+func BenchmarkIntersect100k(b *testing.B) {
+	s1, s2 := benchSets(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s1.Intersect(s2)
+	}
+}
+
+func BenchmarkBlockIntersectCount100k(b *testing.B) {
+	s1, s2 := benchSets(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s1.BlockIntersectCount(s2, 24)
+	}
+}
+
+func BenchmarkSample1kOf100k(b *testing.B) {
+	s, _ := benchSets(b, 100000)
+	rng := stats.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Sample(1000, rng).Len() != 1000 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	s, _ := benchSets(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(s.At(i % s.Len()))
+	}
+}

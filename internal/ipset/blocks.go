@@ -1,0 +1,184 @@
+package ipset
+
+import (
+	"sort"
+
+	"unclean/internal/netaddr"
+)
+
+// BlockCount returns |C_n(S)|: the number of distinct n-bit CIDR blocks
+// containing members of the set. It runs one linear pass over the sorted
+// addresses.
+func (s Set) BlockCount(n int) int {
+	mask := maskFor(n)
+	if len(s.addrs) == 0 {
+		return 0
+	}
+	count := 1
+	prev := s.addrs[0] & mask
+	for _, u := range s.addrs[1:] {
+		if p := u & mask; p != prev {
+			count++
+			prev = p
+		}
+	}
+	return count
+}
+
+// BlockCounts returns |C_n(S)| for every n in [lo, hi] in a single pass: the
+// element at index n-lo is the count at prefix length n. It exploits the
+// identity |C_n(S)| = 1 + #{consecutive pairs with common prefix < n}.
+func (s Set) BlockCounts(lo, hi int) []int {
+	if lo < 0 || hi > 32 || lo > hi {
+		panic("ipset: invalid prefix range")
+	}
+	out := make([]int, hi-lo+1)
+	if len(s.addrs) == 0 {
+		return out
+	}
+	// hist[k] = number of consecutive pairs whose longest common prefix is
+	// exactly k bits (0..32; 32 impossible for distinct sorted values).
+	var hist [33]int
+	for i := 1; i < len(s.addrs); i++ {
+		hist[commonPrefixLen(s.addrs[i-1], s.addrs[i])]++
+	}
+	// pairsBelow(n) = #pairs with lcp < n; count(n) = 1 + pairsBelow(n).
+	pairsBelow := 0
+	k := 0
+	for n := 0; n <= hi; n++ {
+		for ; k < n; k++ {
+			pairsBelow += hist[k]
+		}
+		if n >= lo {
+			out[n-lo] = 1 + pairsBelow
+		}
+	}
+	return out
+}
+
+// Blocks returns C_n(S): the distinct n-bit blocks containing members of
+// the set, in ascending order.
+func (s Set) Blocks(n int) []netaddr.Block {
+	mask := maskFor(n)
+	var out []netaddr.Block
+	var prev uint32
+	have := false
+	for _, u := range s.addrs {
+		p := u & mask
+		if !have || p != prev {
+			out = append(out, netaddr.Addr(p).Block(n))
+			prev = p
+			have = true
+		}
+	}
+	return out
+}
+
+// MaskedSet returns the set C_n(S) represented as a Set of block base
+// addresses (one per distinct block).
+func (s Set) MaskedSet(n int) Set {
+	mask := maskFor(n)
+	out := make([]uint32, 0, min(len(s.addrs), 1024))
+	var prev uint32
+	have := false
+	for _, u := range s.addrs {
+		p := u & mask
+		if !have || p != prev {
+			out = append(out, p)
+			prev = p
+			have = true
+		}
+	}
+	return Set{addrs: out}
+}
+
+// BlockIntersectCount returns |C_n(S) ∩ C_n(other)|: how many n-bit blocks
+// contain members of both sets. This is the predictive-capacity statistic
+// of the temporal uncleanliness test (Eq. 4).
+func (s Set) BlockIntersectCount(other Set, n int) int {
+	mask := maskFor(n)
+	i, j := 0, 0
+	count := 0
+	for i < len(s.addrs) && j < len(other.addrs) {
+		a, b := s.addrs[i]&mask, other.addrs[j]&mask
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			count++
+			// Skip the rest of this block on both sides.
+			for i < len(s.addrs) && s.addrs[i]&mask == a {
+				i++
+			}
+			for j < len(other.addrs) && other.addrs[j]&mask == b {
+				j++
+			}
+		}
+	}
+	return count
+}
+
+// InBlocks reports whether a resides in one of the n-bit blocks covering
+// the set: the paper's inclusion relation a ⊏ C_n(S) (Eq. 2 restricted to a
+// single prefix length).
+func (s Set) InBlocks(a netaddr.Addr, n int) bool {
+	mask := maskFor(n)
+	want := uint32(a) & mask
+	i := sort.Search(len(s.addrs), func(i int) bool { return s.addrs[i]&mask >= want })
+	return i < len(s.addrs) && s.addrs[i]&mask == want
+}
+
+// WithinBlocks returns the subset of s whose addresses fall inside the
+// n-bit blocks covering cover: {a ∈ s : a ⊏ C_n(cover)}. This is how the
+// blocking analysis materializes the candidate population.
+func (s Set) WithinBlocks(cover Set, n int) Set {
+	mask := maskFor(n)
+	var out []uint32
+	i, j := 0, 0
+	for i < len(s.addrs) && j < len(cover.addrs) {
+		a, b := s.addrs[i]&mask, cover.addrs[j]&mask
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			for i < len(s.addrs) && s.addrs[i]&mask == a {
+				out = append(out, s.addrs[i])
+				i++
+			}
+		}
+	}
+	return Set{addrs: out}
+}
+
+// BlockPopulations returns, for each distinct n-bit block in the set, the
+// number of member addresses it holds, keyed by block. Used by density
+// diagnostics and the simulator's ground-truth assertions.
+func (s Set) BlockPopulations(n int) map[netaddr.Block]int {
+	mask := maskFor(n)
+	out := make(map[netaddr.Block]int)
+	for _, u := range s.addrs {
+		out[netaddr.Addr(u&mask).Block(n)]++
+	}
+	return out
+}
+
+func maskFor(n int) uint32 {
+	if n < 0 || n > 32 {
+		panic("ipset: prefix length out of range")
+	}
+	if n == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(n))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package ipset
+
+import (
+	"runtime"
+	"sync"
+
+	"unclean/internal/stats"
+)
+
+// Sample returns a uniformly random subset of exactly k distinct addresses.
+// This generates the paper's control subsets: "1000 randomly generated
+// subsets of R_control" (§4.2). It panics if k exceeds the set size.
+//
+// For k much smaller than |S| it uses Floyd's algorithm (O(k) expected);
+// when k approaches |S| it switches to a partial Fisher-Yates over an index
+// permutation to avoid rejection stalls.
+func (s Set) Sample(k int, rng *stats.RNG) Set {
+	n := len(s.addrs)
+	if k < 0 || k > n {
+		panic("ipset: sample size out of range")
+	}
+	if k == 0 {
+		return Set{}
+	}
+	if k == n {
+		return s // immutable, safe to share
+	}
+	out := make([]uint32, 0, k)
+	if k <= n/16 {
+		// Floyd's subset sampling over indices.
+		chosen := make(map[int]struct{}, k)
+		for i := n - k; i < n; i++ {
+			j := rng.Intn(i + 1)
+			if _, dup := chosen[j]; dup {
+				j = i
+			}
+			chosen[j] = struct{}{}
+		}
+		for idx := range chosen {
+			out = append(out, s.addrs[idx])
+		}
+	} else {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		// Partial Fisher-Yates: settle the first k positions only.
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(n-i)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		for _, i := range idx[:k] {
+			out = append(out, s.addrs[i])
+		}
+	}
+	return buildSorted(out)
+}
+
+// SampleBlocks draws k control subsets of size size and returns, for each
+// prefix length in [loBits, hiBits], the distribution of |C_n(subset)|
+// across the draws. The result is indexed [n-loBits][draw]. This is the
+// inner loop of the empirical density estimate, shared by Figures 2 and 3.
+//
+// Draws run concurrently: each draw's generator is forked from rng up
+// front (in draw order), so results are deterministic and identical to a
+// sequential evaluation of the same forks.
+func (s Set) SampleBlocks(k, size, loBits, hiBits int, rng *stats.RNG) [][]float64 {
+	out := make([][]float64, hiBits-loBits+1)
+	for i := range out {
+		out[i] = make([]float64, k)
+	}
+	forEachDraw(k, rng, func(draw int, drawRNG *stats.RNG) {
+		sub := s.Sample(size, drawRNG)
+		counts := sub.BlockCounts(loBits, hiBits)
+		for i, c := range counts {
+			out[i][draw] = float64(c)
+		}
+	})
+	return out
+}
+
+// SampleIntersections draws k control subsets of size size and returns, for
+// each prefix length in [loBits, hiBits], the distribution of
+// |C_n(subset) ∩ C_n(target)| across draws. This is the control side of the
+// temporal uncleanliness test (Figures 4 and 5). Draws run concurrently
+// under the same deterministic forking scheme as SampleBlocks.
+func (s Set) SampleIntersections(target Set, k, size, loBits, hiBits int, rng *stats.RNG) [][]float64 {
+	out := make([][]float64, hiBits-loBits+1)
+	for i := range out {
+		out[i] = make([]float64, k)
+	}
+	forEachDraw(k, rng, func(draw int, drawRNG *stats.RNG) {
+		sub := s.Sample(size, drawRNG)
+		for n := loBits; n <= hiBits; n++ {
+			out[n-loBits][draw] = float64(sub.BlockIntersectCount(target, n))
+		}
+	})
+	return out
+}
+
+// forEachDraw forks one generator per draw from rng (sequentially, so the
+// fork stream is deterministic), then runs the draws on all CPUs.
+func forEachDraw(k int, rng *stats.RNG, fn func(draw int, rng *stats.RNG)) {
+	rngs := make([]*stats.RNG, k)
+	for i := range rngs {
+		rngs[i] = rng.Fork(uint64(i))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for draw := range next {
+				fn(draw, rngs[draw])
+			}
+		}()
+	}
+	for draw := 0; draw < k; draw++ {
+		next <- draw
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,155 @@
+package ipset
+
+import (
+	"testing"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/stats"
+)
+
+func randomSet(rng *stats.RNG, n int) Set {
+	b := NewBuilder(n)
+	for b.Len() < n {
+		b.Add(netaddr.Addr(rng.Uint32()))
+	}
+	s := b.Build()
+	for s.Len() < n { // extremely unlikely collision top-up
+		b.AddSet(s)
+		b.Add(netaddr.Addr(rng.Uint32()))
+		s = b.Build()
+	}
+	return s
+}
+
+func TestSampleBasics(t *testing.T) {
+	rng := stats.NewRNG(100)
+	s := randomSet(rng, 5000)
+	for _, k := range []int{0, 1, 50, 2500, 4800, 5000} {
+		sub := s.Sample(k, rng)
+		if sub.Len() != k {
+			t.Fatalf("Sample(%d).Len = %d", k, sub.Len())
+		}
+		missing := sub.Difference(s)
+		if !missing.IsEmpty() {
+			t.Fatalf("Sample(%d) contains %d non-members", k, missing.Len())
+		}
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	rng := stats.NewRNG(1)
+	s := MustParse("1.2.3.4")
+	for _, k := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sample(%d) did not panic", k)
+				}
+			}()
+			s.Sample(k, rng)
+		}()
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	// Each member should appear in a k-of-n sample with probability k/n.
+	rng := stats.NewRNG(101)
+	s := FromUint32s([]uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	counts := make(map[uint32]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		s.Sample(3, rng).Each(func(a netaddr.Addr) bool {
+			counts[uint32(a)]++
+			return true
+		})
+	}
+	want := draws * 3 / 10
+	for u, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("member %d drawn %d times, want ~%d", u, c, want)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	s := randomSet(stats.NewRNG(7), 1000)
+	a := s.Sample(100, stats.NewRNG(55))
+	b := s.Sample(100, stats.NewRNG(55))
+	if !a.Equal(b) {
+		t.Fatal("sampling not deterministic under a fixed seed")
+	}
+}
+
+func TestSampleBlocks(t *testing.T) {
+	rng := stats.NewRNG(102)
+	s := randomSet(rng, 3000)
+	dist := s.SampleBlocks(20, 500, 16, 24, rng)
+	if len(dist) != 9 {
+		t.Fatalf("rows = %d, want 9", len(dist))
+	}
+	for i, row := range dist {
+		if len(row) != 20 {
+			t.Fatalf("row %d has %d draws", i, len(row))
+		}
+		for _, v := range row {
+			if v < 1 || v > 500 {
+				t.Fatalf("block count %v out of [1,500]", v)
+			}
+		}
+	}
+	// Counts must be non-decreasing with prefix length draw-by-draw.
+	for draw := 0; draw < 20; draw++ {
+		for i := 1; i < len(dist); i++ {
+			if dist[i][draw] < dist[i-1][draw] {
+				t.Fatalf("draw %d: count decreased from /%d to /%d", draw, 16+i-1, 16+i)
+			}
+		}
+	}
+}
+
+func TestSampleBlocksDeterministicUnderConcurrency(t *testing.T) {
+	s := randomSet(stats.NewRNG(200), 4000)
+	run := func() [][]float64 {
+		return s.SampleBlocks(64, 800, 16, 24, stats.NewRNG(31337))
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("draw distribution differs at [%d][%d]", i, j)
+			}
+		}
+	}
+	target := s.Sample(500, stats.NewRNG(1))
+	runI := func() [][]float64 {
+		return s.SampleIntersections(target, 64, 800, 16, 24, stats.NewRNG(31337))
+	}
+	x, y := runI(), runI()
+	for i := range x {
+		for j := range x[i] {
+			if x[i][j] != y[i][j] {
+				t.Fatalf("intersection distribution differs at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestSampleIntersections(t *testing.T) {
+	rng := stats.NewRNG(103)
+	s := randomSet(rng, 3000)
+	target := s.Sample(300, rng) // target drawn from same population
+	dist := s.SampleIntersections(target, 15, 300, 16, 20, rng)
+	if len(dist) != 5 {
+		t.Fatalf("rows = %d, want 5", len(dist))
+	}
+	for _, row := range dist {
+		if len(row) != 15 {
+			t.Fatalf("draws = %d, want 15", len(row))
+		}
+		for _, v := range row {
+			if v < 0 || v > 300 {
+				t.Fatalf("intersection %v out of range", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package ipset implements immutable, sorted sets of IPv4 addresses and the
+// per-prefix CIDR block arithmetic the uncleanliness analyses are built on.
+//
+// A Set stores addresses as a sorted, deduplicated []uint32. Every analysis
+// in the paper reduces to a handful of primitives on these sets: cardinality
+// (|S|), the CIDR masking function C_n(S), block counting |C_n(S)|, block
+// intersection |C_n(A) ∩ C_n(B)|, the inclusion relation i ⊏ S, and random
+// sampling for control subsets. All of these run in linear or
+// n-log-n time over the sorted representation.
+package ipset
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"unclean/internal/netaddr"
+)
+
+// Set is an immutable sorted set of IPv4 addresses. The zero value is the
+// empty set and is ready to use.
+type Set struct {
+	addrs []uint32 // sorted ascending, no duplicates
+}
+
+// FromAddrs builds a Set from addresses in any order, deduplicating.
+func FromAddrs(addrs []netaddr.Addr) Set {
+	b := NewBuilder(len(addrs))
+	for _, a := range addrs {
+		b.Add(a)
+	}
+	return b.Build()
+}
+
+// FromUint32s builds a Set from raw uint32 addresses in any order,
+// deduplicating. The input slice is not retained.
+func FromUint32s(addrs []uint32) Set {
+	c := make([]uint32, len(addrs))
+	copy(c, addrs)
+	return buildSorted(c)
+}
+
+func buildSorted(c []uint32) Set {
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	c = dedupSorted(c)
+	return Set{addrs: c}
+}
+
+func dedupSorted(c []uint32) []uint32 {
+	if len(c) == 0 {
+		return c
+	}
+	w := 1
+	for i := 1; i < len(c); i++ {
+		if c[i] != c[w-1] {
+			c[w] = c[i]
+			w++
+		}
+	}
+	return c[:w]
+}
+
+// Parse builds a Set from a whitespace- or comma-separated list of
+// dotted-quad addresses; convenient in tests and examples.
+func Parse(s string) (Set, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == ','
+	})
+	b := NewBuilder(len(fields))
+	for _, f := range fields {
+		a, err := netaddr.ParseAddr(f)
+		if err != nil {
+			return Set{}, err
+		}
+		b.Add(a)
+	}
+	return b.Build(), nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) Set {
+	set, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// Len returns |S|, the number of addresses in the set.
+func (s Set) Len() int { return len(s.addrs) }
+
+// IsEmpty reports whether the set has no addresses.
+func (s Set) IsEmpty() bool { return len(s.addrs) == 0 }
+
+// At returns the i-th smallest address.
+func (s Set) At(i int) netaddr.Addr { return netaddr.Addr(s.addrs[i]) }
+
+// Contains reports whether a is a member of the set.
+func (s Set) Contains(a netaddr.Addr) bool {
+	u := uint32(a)
+	i := sort.Search(len(s.addrs), func(i int) bool { return s.addrs[i] >= u })
+	return i < len(s.addrs) && s.addrs[i] == u
+}
+
+// Each calls fn for every address in ascending order; it stops early if fn
+// returns false.
+func (s Set) Each(fn func(netaddr.Addr) bool) {
+	for _, u := range s.addrs {
+		if !fn(netaddr.Addr(u)) {
+			return
+		}
+	}
+}
+
+// Addrs returns a copy of the membership as a slice of addresses.
+func (s Set) Addrs() []netaddr.Addr {
+	out := make([]netaddr.Addr, len(s.addrs))
+	for i, u := range s.addrs {
+		out[i] = netaddr.Addr(u)
+	}
+	return out
+}
+
+// Equal reports whether two sets have identical membership.
+func (s Set) Equal(other Set) bool {
+	if len(s.addrs) != len(other.addrs) {
+		return false
+	}
+	for i, u := range s.addrs {
+		if u != other.addrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small sets fully and large sets as a cardinality summary.
+func (s Set) String() string {
+	if len(s.addrs) <= 8 {
+		parts := make([]string, len(s.addrs))
+		for i, u := range s.addrs {
+			parts[i] = netaddr.Addr(u).String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return fmt.Sprintf("{|S|=%d, %s..%s}", len(s.addrs),
+		netaddr.Addr(s.addrs[0]), netaddr.Addr(s.addrs[len(s.addrs)-1]))
+}
+
+// Builder accumulates addresses for a Set.
+type Builder struct {
+	addrs []uint32
+}
+
+// NewBuilder returns a Builder with capacity for sizeHint addresses.
+func NewBuilder(sizeHint int) *Builder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Builder{addrs: make([]uint32, 0, sizeHint)}
+}
+
+// Add inserts an address; duplicates are removed at Build time.
+func (b *Builder) Add(a netaddr.Addr) { b.addrs = append(b.addrs, uint32(a)) }
+
+// AddSet inserts every address of another set.
+func (b *Builder) AddSet(s Set) { b.addrs = append(b.addrs, s.addrs...) }
+
+// Len returns the number of addresses added so far (including duplicates).
+func (b *Builder) Len() int { return len(b.addrs) }
+
+// Build sorts, deduplicates and returns the Set. The Builder is reset and
+// may be reused.
+func (b *Builder) Build() Set {
+	s := buildSorted(b.addrs)
+	b.addrs = nil
+	return s
+}
+
+// Union returns s ∪ other.
+func (s Set) Union(other Set) Set {
+	out := make([]uint32, 0, len(s.addrs)+len(other.addrs))
+	i, j := 0, 0
+	for i < len(s.addrs) && j < len(other.addrs) {
+		switch {
+		case s.addrs[i] < other.addrs[j]:
+			out = append(out, s.addrs[i])
+			i++
+		case s.addrs[i] > other.addrs[j]:
+			out = append(out, other.addrs[j])
+			j++
+		default:
+			out = append(out, s.addrs[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.addrs[i:]...)
+	out = append(out, other.addrs[j:]...)
+	return Set{addrs: out}
+}
+
+// Intersect returns s ∩ other.
+func (s Set) Intersect(other Set) Set {
+	small, large := s.addrs, other.addrs
+	var out []uint32
+	i, j := 0, 0
+	for i < len(small) && j < len(large) {
+		switch {
+		case small[i] < large[j]:
+			i++
+		case small[i] > large[j]:
+			j++
+		default:
+			out = append(out, small[i])
+			i++
+			j++
+		}
+	}
+	return Set{addrs: out}
+}
+
+// Difference returns s \ other.
+func (s Set) Difference(other Set) Set {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(s.addrs) {
+		if j >= len(other.addrs) || s.addrs[i] < other.addrs[j] {
+			out = append(out, s.addrs[i])
+			i++
+		} else if s.addrs[i] > other.addrs[j] {
+			j++
+		} else {
+			i++
+			j++
+		}
+	}
+	return Set{addrs: out}
+}
+
+// Filter returns the subset of addresses for which keep returns true.
+func (s Set) Filter(keep func(netaddr.Addr) bool) Set {
+	var out []uint32
+	for _, u := range s.addrs {
+		if keep(netaddr.Addr(u)) {
+			out = append(out, u)
+		}
+	}
+	return Set{addrs: out}
+}
+
+// commonPrefixLen returns the number of leading bits a and b share.
+func commonPrefixLen(a, b uint32) int {
+	return bits.LeadingZeros32(a ^ b)
+}

@@ -1,0 +1,127 @@
+// Package netaddr provides IPv4 address and CIDR block primitives used
+// throughout the uncleanliness analyses.
+//
+// The paper works exclusively with IPv4 addresses and homogeneously sized
+// CIDR blocks, so addresses are represented as uint32 values in host byte
+// order and blocks as (prefix value, prefix length) pairs. This keeps every
+// set operation in internal/ipset a plain integer operation.
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order. The zero value is 0.0.0.0.
+type Addr uint32
+
+// MakeAddr assembles an address from its four dotted-quad octets.
+func MakeAddr(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets returns the four dotted-quad octets of a.
+func (a Addr) Octets() (o0, o1, o2, o3 byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	o0, o1, o2, o3 := a.Octets()
+	var b [15]byte
+	s := strconv.AppendUint(b[:0], uint64(o0), 10)
+	s = append(s, '.')
+	s = strconv.AppendUint(s, uint64(o1), 10)
+	s = append(s, '.')
+	s = strconv.AppendUint(s, uint64(o2), 10)
+	s = append(s, '.')
+	s = strconv.AppendUint(s, uint64(o3), 10)
+	return string(s)
+}
+
+// ParseAddr parses a dotted-quad IPv4 address such as "127.1.135.14".
+func ParseAddr(s string) (Addr, error) {
+	var a uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		var part string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("netaddr: invalid IPv4 address %q", s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		} else {
+			part = rest
+		}
+		if len(part) == 0 || len(part) > 3 {
+			return 0, fmt.Errorf("netaddr: invalid IPv4 address %q", s)
+		}
+		n, err := strconv.ParseUint(part, 10, 16)
+		if err != nil || n > 255 {
+			return 0, fmt.Errorf("netaddr: invalid IPv4 address %q", s)
+		}
+		// Reject leading zeros ("01") which are ambiguous (octal in some
+		// legacy parsers) and never appear in report feeds.
+		if len(part) > 1 && part[0] == '0' {
+			return 0, fmt.Errorf("netaddr: invalid IPv4 address %q (leading zero)", s)
+		}
+		a = a<<8 | uint32(n)
+	}
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; intended for constants
+// and tests.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MarshalText implements encoding.TextMarshaler (dotted-quad form), so
+// addresses embed naturally in JSON and text formats.
+func (a Addr) MarshalText() ([]byte, error) {
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (a *Addr) UnmarshalText(text []byte) error {
+	parsed, err := ParseAddr(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// Mask returns the address with all but the leading n bits cleared, i.e. the
+// base address of the n-bit CIDR block containing a. Mask(0) is 0.0.0.0 and
+// Mask(32) is a itself. It panics if n is outside [0, 32].
+func (a Addr) Mask(n int) Addr {
+	return a & Addr(prefixMask(n))
+}
+
+// Block returns the n-bit CIDR block containing a. This is the CIDR masking
+// function C_n(i) from §3.1 of the paper.
+func (a Addr) Block(n int) Block {
+	return Block{base: a.Mask(n), bits: uint8(checkBits(n))}
+}
+
+func prefixMask(n int) uint32 {
+	checkBits(n)
+	if n == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(n))
+}
+
+func checkBits(n int) int {
+	if n < 0 || n > 32 {
+		panic(fmt.Sprintf("netaddr: prefix length %d out of range [0,32]", n))
+	}
+	return n
+}

@@ -1,0 +1,37 @@
+package netaddr
+
+// Reserved and special-use IPv4 ranges as of the paper's 2006/2007 era.
+// Reports in the paper are "filtered to only include addresses that are
+// outside of the observed network and are not otherwise reserved (e.g., all
+// addresses specified in RFC 1918 have been removed)" (§3.2); this file
+// implements that filter.
+var reservedBlocks = []Block{
+	MustParseBlock("0.0.0.0/8"),      // "this" network (RFC 1122)
+	MustParseBlock("10.0.0.0/8"),     // private (RFC 1918)
+	MustParseBlock("127.0.0.0/8"),    // loopback (RFC 1122)
+	MustParseBlock("169.254.0.0/16"), // link local (RFC 3927)
+	MustParseBlock("172.16.0.0/12"),  // private (RFC 1918)
+	MustParseBlock("192.0.2.0/24"),   // TEST-NET (RFC 3330)
+	MustParseBlock("192.168.0.0/16"), // private (RFC 1918)
+	MustParseBlock("198.18.0.0/15"),  // benchmarking (RFC 2544)
+	MustParseBlock("224.0.0.0/4"),    // multicast (RFC 3171)
+	MustParseBlock("240.0.0.0/4"),    // reserved for future use (RFC 1112)
+}
+
+// IsReserved reports whether a falls inside a reserved or special-use range
+// and therefore must be excluded from reports.
+func IsReserved(a Addr) bool {
+	for _, b := range reservedBlocks {
+		if b.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReservedBlocks returns a copy of the reserved-range table.
+func ReservedBlocks() []Block {
+	out := make([]Block, len(reservedBlocks))
+	copy(out, reservedBlocks)
+	return out
+}

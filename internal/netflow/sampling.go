@@ -1,0 +1,50 @@
+package netflow
+
+import (
+	"fmt"
+
+	"unclean/internal/stats"
+)
+
+// SampleRecords simulates packet-sampled NetFlow at 1-in-interval: each
+// flow's observed packet count is Binomial(packets, 1/interval), flows
+// with no sampled packets vanish, and octets shrink proportionally.
+// Routers exporting at high rates sample heavily; the blind spot this
+// creates for small flows (scans are 2–3 packets!) is a well-known
+// operational limit of flow-based detection, quantified by the sampling
+// ablation in bench_test.go.
+//
+// Counts are NOT renormalized (multiplied back by the interval): the
+// detectors consume raw sampled records, as they would from a sampled
+// exporter. TCP flag bits are kept as-is — V5 exporters OR flags from
+// sampled packets only, but per-packet flag attribution is not modeled.
+func SampleRecords(records []Record, interval int, rng *stats.RNG) ([]Record, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("netflow: sampling interval must be >= 1")
+	}
+	if interval == 1 {
+		out := make([]Record, len(records))
+		copy(out, records)
+		return out, nil
+	}
+	p := 1 / float64(interval)
+	out := make([]Record, 0, len(records)/interval+1)
+	for i := range records {
+		r := records[i]
+		sampled := rng.Binomial(int(r.Packets), p)
+		if sampled == 0 {
+			continue
+		}
+		// Scale octets by the sampled fraction, keeping at least one
+		// byte per packet.
+		frac := float64(sampled) / float64(r.Packets)
+		octets := uint32(float64(r.Octets) * frac)
+		if octets < uint32(sampled) {
+			octets = uint32(sampled)
+		}
+		r.Packets = uint32(sampled)
+		r.Octets = octets
+		out = append(out, r)
+	}
+	return out, nil
+}

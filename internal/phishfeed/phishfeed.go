@@ -1,0 +1,113 @@
+// Package phishfeed implements a phishing incident feed in the style of
+// the 2006-era reporting services (CastleCops PIRT, spam-trap harvests)
+// the paper draws its provided phishing reports from (§3.1). A feed is a
+// dated list of incidents, each binding a reported URL to the IPv4
+// address hosting it.
+package phishfeed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+)
+
+// Incident is one reported phishing site.
+type Incident struct {
+	// Reported is the date the incident entered the feed.
+	Reported time.Time
+	// URL is the reported lure URL.
+	URL string
+	// Addr is the host serving the site.
+	Addr netaddr.Addr
+}
+
+// Feed is an append-only incident list ordered by report date.
+type Feed struct {
+	incidents []Incident
+}
+
+// Add appends an incident; out-of-order dates are re-sorted on demand.
+func (f *Feed) Add(inc Incident) {
+	f.incidents = append(f.incidents, inc)
+}
+
+// Len returns the number of incidents.
+func (f *Feed) Len() int { return len(f.incidents) }
+
+// Incidents returns a copy of all incidents sorted by report date.
+func (f *Feed) Incidents() []Incident {
+	out := make([]Incident, len(f.incidents))
+	copy(out, f.incidents)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Reported.Before(out[j].Reported) })
+	return out
+}
+
+// AddrsBetween returns the set of hosting addresses for incidents
+// reported in [from, to] inclusive.
+func (f *Feed) AddrsBetween(from, to time.Time) ipset.Set {
+	b := ipset.NewBuilder(0)
+	for _, inc := range f.incidents {
+		if !inc.Reported.Before(from) && !inc.Reported.After(to) {
+			b.Add(inc.Addr)
+		}
+	}
+	return b.Build()
+}
+
+// Write serializes the feed as "date,url,addr" lines with a header.
+func (f *Feed) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# phish feed v1")
+	for _, inc := range f.Incidents() {
+		if strings.ContainsAny(inc.URL, ",\n\r") {
+			return fmt.Errorf("phishfeed: URL %q contains a field separator", inc.URL)
+		}
+		fmt.Fprintf(bw, "%s,%s,%s\n", inc.Reported.Format("2006-01-02"), inc.URL, inc.Addr)
+	}
+	return bw.Flush()
+}
+
+// Read parses a feed written by Write. Unknown header lines and comments
+// are ignored; malformed incident lines are errors.
+func Read(r io.Reader) (*Feed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	f := &Feed{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("phishfeed: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		date, err := time.Parse("2006-01-02", parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("phishfeed: line %d: %v", line, err)
+		}
+		addr, err := netaddr.ParseAddr(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("phishfeed: line %d: %v", line, err)
+		}
+		f.Add(Incident{Reported: date, URL: parts[1], Addr: addr})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// LureURL fabricates a plausible lure URL for a hosting address; used by
+// the feed generator so incidents carry realistic-shaped URLs.
+func LureURL(target string, addr netaddr.Addr, token uint32) string {
+	return fmt.Sprintf("http://%s/%s/verify?session=%08x", addr, target, token)
+}

@@ -1,0 +1,253 @@
+// Package plot renders the reproduction's figures as self-contained SVG
+// files. It follows the data-viz method's invariants: one y-axis per
+// chart, thin 2px line marks, a recessive grid, categorical colors
+// assigned in a fixed validated order (never cycled), direct series
+// labels (the relief rule for the low-contrast slots), and text in ink
+// tokens rather than series colors.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The validated default palette (light mode, surface #fcfcfb). Slots are
+// assigned to series in this fixed order.
+var (
+	surface       = "#fcfcfb"
+	inkPrimary    = "#0b0b0b"
+	inkSecondary  = "#52514e"
+	gridColor     = "#e4e3df"
+	categorical   = []string{"#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948"}
+	bandFill      = "#cde2fb" // sequential blue step 100: the control envelope
+	bandEdgeColor = "#86b6ef" // step 250
+)
+
+// Series is one line on a chart.
+type Series struct {
+	// Label names the series; it is drawn as a direct label at the
+	// line's end.
+	Label string
+	X, Y  []float64
+	// Dashed draws the line dashed (secondary comparisons).
+	Dashed bool
+}
+
+// Band is a shaded min..max envelope (the control-distribution range).
+type Band struct {
+	Label     string
+	X, Lo, Hi []float64
+}
+
+// Chart is a single-axis line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Bands  []Band
+	// W and H default to 720x420 when zero.
+	W, H int
+	// XTickFormat formats x tick values ("" = %g). Use e.g. "/%.0f" for
+	// prefix lengths.
+	XTickFormat string
+}
+
+const (
+	marginL = 64
+	marginR = 120 // room for direct labels
+	marginT = 44
+	marginB = 48
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() ([]byte, error) {
+	if len(c.Series) == 0 && len(c.Bands) == 0 {
+		return nil, fmt.Errorf("plot: chart %q has no data", c.Title)
+	}
+	if len(c.Series) > len(categorical) {
+		return nil, fmt.Errorf("plot: %d series exceeds the fixed palette; fold into fewer series", len(c.Series))
+	}
+	w, h := c.W, c.H
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 420
+	}
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return nil, err
+	}
+	// Always anchor magnitude axes at zero.
+	if ymin > 0 {
+		ymin = 0
+	}
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	sx := func(x float64) float64 {
+		if xmax == xmin {
+			return marginL + plotW/2
+		}
+		return marginL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	sy := func(y float64) float64 {
+		if ymax == ymin {
+			return marginT + plotH/2
+		}
+		return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", w, h, surface)
+	fmt.Fprintf(&b, `<text x="%d" y="24" fill="%s" font-size="15" font-weight="600">%s</text>`+"\n",
+		marginL, inkPrimary, escape(c.Title))
+
+	// Recessive grid + y ticks.
+	for _, t := range niceTicks(ymin, ymax, 5) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginL, y, w-marginR, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" fill="%s" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, y+4, inkSecondary, formatTick(t, ""))
+	}
+	// X ticks.
+	for _, t := range niceTicks(xmin, xmax, 7) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			x, h-marginB, x, h-marginB+4, inkSecondary)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="%s" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, h-marginB+18, inkSecondary, formatTick(t, c.XTickFormat))
+	}
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="%s" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, h-10, inkSecondary, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%.1f" fill="%s" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			marginT+plotH/2, inkSecondary, marginT+plotH/2, escape(c.YLabel))
+	}
+
+	// Bands under the lines.
+	for _, band := range c.Bands {
+		if len(band.X) == 0 {
+			continue
+		}
+		var path strings.Builder
+		for i, x := range band.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx(x), sy(band.Hi[i]))
+		}
+		for i := len(band.X) - 1; i >= 0; i-- {
+			fmt.Fprintf(&path, "L%.1f %.1f ", sx(band.X[i]), sy(band.Lo[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%sZ" fill="%s" stroke="%s" stroke-width="1" fill-opacity="0.85"/>`+"\n",
+			path.String(), bandFill, bandEdgeColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="%s" font-size="11">%s</text>`+"\n",
+			sx(band.X[len(band.X)-1])+6, sy(band.Lo[len(band.X)-1])+4, inkSecondary, escape(band.Label))
+	}
+
+	// Lines with direct end labels (identity never rides on color alone).
+	for si, s := range c.Series {
+		if len(s.X) == 0 {
+			continue
+		}
+		color := categorical[si]
+		var path strings.Builder
+		for i, x := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx(x), sy(s.Y[i]))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6 4"`
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"%s stroke-linejoin="round"/>`+"\n",
+			path.String(), color, dash)
+		last := len(s.X) - 1
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", sx(s.X[last]), sy(s.Y[last]), color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="%s" font-size="11" font-weight="600">%s</text>`+"\n",
+			sx(s.X[last])+8, sy(s.Y[last])+4, inkPrimary, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	consider := func(xs, ys []float64) error {
+		if len(xs) != len(ys) {
+			return fmt.Errorf("plot: ragged series in %q", c.Title)
+		}
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) || math.IsInf(xs[i], 0) || math.IsInf(ys[i], 0) {
+				return fmt.Errorf("plot: non-finite point in %q", c.Title)
+			}
+			xmin, xmax = math.Min(xmin, xs[i]), math.Max(xmax, xs[i])
+			ymin, ymax = math.Min(ymin, ys[i]), math.Max(ymax, ys[i])
+		}
+		return nil
+	}
+	for _, s := range c.Series {
+		if err := consider(s.X, s.Y); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	for _, band := range c.Bands {
+		if err := consider(band.X, band.Lo); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if err := consider(band.X, band.Hi); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, fmt.Errorf("plot: chart %q has only empty series", c.Title)
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// niceTicks returns ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if span/(step*m) <= float64(n) {
+			step *= m
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func formatTick(v float64, format string) string {
+	if format != "" {
+		return fmt.Sprintf(format, v)
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,136 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title: "Density vs control", XLabel: "prefix length", YLabel: "blocks",
+		XTickFormat: "/%.0f",
+		Series: []Series{
+			{Label: "bot", X: []float64{16, 20, 24}, Y: []float64{100, 400, 700}},
+			{Label: "control", X: []float64{16, 20, 24}, Y: []float64{200, 600, 800}, Dashed: true},
+		},
+		Bands: []Band{
+			{Label: "control range", X: []float64{16, 20, 24}, Lo: []float64{180, 560, 760}, Hi: []float64{220, 640, 840}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid XML.
+	dec := xml.NewDecoder(strings.NewReader(string(out)))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	s := string(out)
+	for _, want := range []string{
+		"<svg", "Density vs control", "prefix length", "blocks",
+		"bot", "control range", "stroke-dasharray", "/16", "/24",
+		categorical[0], bandFill,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGDirectLabelsPresent(t *testing.T) {
+	// The relief rule: every series carries a visible direct label.
+	out, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, label := range []string{">bot</text>", ">control</text>"} {
+		if !strings.Contains(s, label) {
+			t.Errorf("missing direct label %q", label)
+		}
+	}
+	// Labels wear ink, not series color.
+	if strings.Contains(s, `fill="`+categorical[0]+`" font-size="11" font-weight="600"`) {
+		t.Error("direct label colored with series hue")
+	}
+}
+
+func TestSVGTitleEscaped(t *testing.T) {
+	c := &Chart{
+		Title:  `R_bot <&> "density"`,
+		Series: []Series{{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "<&>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(string(out), "&lt;&amp;&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&Chart{Title: "empty"}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	ragged := &Chart{Series: []Series{{Label: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := ragged.SVG(); err == nil {
+		t.Error("ragged series accepted")
+	}
+	nan := &Chart{Series: []Series{{Label: "x", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if _, err := nan.SVG(); err == nil {
+		t.Error("NaN accepted")
+	}
+	var many []Series
+	for i := 0; i < 10; i++ {
+		many = append(many, Series{Label: "s", X: []float64{1}, Y: []float64{1}})
+	}
+	if _, err := (&Chart{Series: many}).SVG(); err == nil {
+		t.Error("palette overflow accepted (hues must never be cycled)")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 3 || len(ticks) > 8 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100.001 {
+		t.Fatalf("ticks out of range: %v", ticks)
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestYAxisAnchoredAtZero(t *testing.T) {
+	// Magnitude charts must not truncate the axis: with data 700..800 the
+	// zero gridline must still appear.
+	c := &Chart{Series: []Series{{Label: "x", X: []float64{0, 1}, Y: []float64{700, 800}}}}
+	out, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `>0</text>`) {
+		t.Fatal("y axis does not include zero")
+	}
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Ext is the file extension report files use on disk.
+const Ext = ".report"
+
+// SaveDir writes every report of the inventory into dir as
+// "<tag>.report" files, creating dir if needed.
+func (inv *Inventory) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range inv.Reports {
+		if strings.ContainsAny(r.Tag, "/\\") || r.Tag == "" {
+			return fmt.Errorf("report: tag %q not usable as a filename", r.Tag)
+		}
+		path := filepath.Join(dir, r.Tag+Ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := r.Write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("report: writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every *.report file in dir into an inventory, ordered by
+// filename. Files that fail to parse abort the load with a path-tagged
+// error.
+func LoadDir(dir string) (*Inventory, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), Ext) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("report: no %s files in %s", Ext, dir)
+	}
+	inv := &Inventory{Title: "Reports from " + dir}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", path, err)
+		}
+		if inv.Get(r.Tag) != nil {
+			return nil, fmt.Errorf("report: duplicate tag %q in %s", r.Tag, path)
+		}
+		inv.Add(r)
+	}
+	return inv, nil
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unclean/internal/ipset"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	inv := &Inventory{}
+	inv.Add(sampleReport())
+	inv.Add(New("scan", Observed, ClassScanning, "2006-10-01", "2006-10-14", "m",
+		ipset.MustParse("7.7.7.7 8.8.8.8")))
+	if err := inv.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Reports) != 2 {
+		t.Fatalf("loaded %d reports", len(got.Reports))
+	}
+	for _, want := range inv.Reports {
+		g := got.Get(want.Tag)
+		if g == nil {
+			t.Fatalf("missing %q", want.Tag)
+		}
+		if !g.Addrs.Equal(want.Addrs) || g.Class != want.Class || g.Type != want.Type {
+			t.Fatalf("report %q mismatch", want.Tag)
+		}
+	}
+}
+
+func TestSaveDirRejectsBadTag(t *testing.T) {
+	inv := &Inventory{}
+	r := sampleReport()
+	r.Tag = "../evil"
+	inv.Add(r)
+	if err := inv.SaveDir(t.TempDir()); err == nil {
+		t.Fatal("path-traversal tag accepted")
+	}
+	inv2 := &Inventory{}
+	r2 := sampleReport()
+	r2.Tag = ""
+	inv2.Add(r2)
+	if err := inv2.SaveDir(t.TempDir()); err == nil {
+		t.Fatal("empty tag accepted")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// Corrupt file.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "x.report"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	// Duplicate tags across files.
+	dup := t.TempDir()
+	inv := &Inventory{}
+	inv.Add(sampleReport())
+	if err := inv.SaveDir(dup); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(dup, "bot.report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dup, "bot2.report"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dup); err == nil {
+		t.Error("duplicate tag accepted")
+	}
+	// Non-report files are ignored.
+	ok := t.TempDir()
+	if err := inv.SaveDir(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ok, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(ok)
+	if err != nil || len(got.Reports) != 1 {
+		t.Fatalf("LoadDir with stray file: %v, %d reports", err, len(got.Reports))
+	}
+}

@@ -1,0 +1,108 @@
+// Package roc implements the receiver-operating-characteristic analysis
+// the paper applies to its blocking experiment (§6.2): true and false
+// positive rates swept over an operating characteristic — for the paper,
+// the prefix length used to expand R_bot-test into blocked networks.
+package roc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one operating point on a ROC curve.
+type Point struct {
+	// Threshold identifies the operating characteristic value (e.g. the
+	// prefix length n).
+	Threshold float64
+	// TP, FP, FN, TN are the confusion counts at this point.
+	TP, FP, FN, TN int
+}
+
+// TPR returns the true positive rate TP/(TP+FN); NaN-free (0 when
+// undefined).
+func (p Point) TPR() float64 {
+	if p.TP+p.FN == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// FPR returns the false positive rate FP/(FP+TN); 0 when undefined.
+func (p Point) FPR() float64 {
+	if p.FP+p.TN == 0 {
+		return 0
+	}
+	return float64(p.FP) / float64(p.FP+p.TN)
+}
+
+// Precision returns TP/(TP+FP); 0 when undefined.
+func (p Point) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Curve is an ordered set of operating points.
+type Curve struct {
+	Points []Point
+}
+
+// NewCurve builds a curve, sorting points by ascending FPR (ties by
+// ascending TPR) as AUC integration requires.
+func NewCurve(points []Point) (*Curve, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("roc: empty curve")
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.SliceStable(ps, func(i, j int) bool {
+		fi, fj := ps[i].FPR(), ps[j].FPR()
+		if fi != fj {
+			return fi < fj
+		}
+		return ps[i].TPR() < ps[j].TPR()
+	})
+	return &Curve{Points: ps}, nil
+}
+
+// AUC returns the area under the curve by trapezoidal integration,
+// anchored at (0,0) and (1,1).
+func (c *Curve) AUC() float64 {
+	area := 0.0
+	prevF, prevT := 0.0, 0.0
+	for _, p := range c.Points {
+		f, t := p.FPR(), p.TPR()
+		area += (f - prevF) * (t + prevT) / 2
+		prevF, prevT = f, t
+	}
+	area += (1 - prevF) * (1 + prevT) / 2
+	return area
+}
+
+// Best returns the point maximizing Youden's J statistic (TPR - FPR),
+// the standard single-number operating-point choice.
+func (c *Curve) Best() Point {
+	best := c.Points[0]
+	bestJ := math.Inf(-1)
+	for _, p := range c.Points {
+		if j := p.TPR() - p.FPR(); j > bestJ {
+			bestJ = j
+			best = p
+		}
+	}
+	return best
+}
+
+// String renders the curve as threshold/TPR/FPR rows.
+func (c *Curve) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s\n", "threshold", "TPR", "FPR", "precision")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%-10.4g %8.3f %8.3f %10.3f\n", p.Threshold, p.TPR(), p.FPR(), p.Precision())
+	}
+	fmt.Fprintf(&b, "AUC = %.4f\n", c.AUC())
+	return b.String()
+}

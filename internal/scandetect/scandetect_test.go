@@ -1,0 +1,231 @@
+package scandetect
+
+import (
+	"testing"
+	"time"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
+)
+
+var t0 = time.Date(2006, 10, 1, 12, 0, 0, 0, time.UTC)
+
+// probe builds a failed connection attempt (SYN only, no payload).
+func probe(src, dst string, at time.Time) netflow.Record {
+	return netflow.Record{
+		SrcAddr: netaddr.MustParseAddr(src), DstAddr: netaddr.MustParseAddr(dst),
+		Packets: 2, Octets: 96, First: at, Last: at.Add(time.Second),
+		SrcPort: 4321, DstPort: 445, TCPFlags: netflow.FlagSYN, Proto: netflow.ProtoTCP,
+	}
+}
+
+// session builds an established, payload-bearing connection.
+func session(src, dst string, at time.Time) netflow.Record {
+	return netflow.Record{
+		SrcAddr: netaddr.MustParseAddr(src), DstAddr: netaddr.MustParseAddr(dst),
+		Packets: 12, Octets: 5000, First: at, Last: at.Add(30 * time.Second),
+		SrcPort: 4321, DstPort: 80,
+		TCPFlags: netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH | netflow.FlagFIN,
+		Proto:    netflow.ProtoTCP,
+	}
+}
+
+func dstAddr(i int) string {
+	return netaddr.MakeAddr(30, byte(i>>8), byte(i), 1).String()
+}
+
+func TestClassify(t *testing.T) {
+	p := probe("1.1.1.1", "30.0.0.1", t0)
+	if Classify(&p) != Failure {
+		t.Error("SYN probe should classify as failure")
+	}
+	s := session("1.1.1.1", "30.0.0.1", t0)
+	if Classify(&s) != Success {
+		t.Error("payload session should classify as success")
+	}
+	rst := s
+	rst.TCPFlags |= netflow.FlagRST
+	if Classify(&rst) != Failure {
+		t.Error("RST flow should classify as failure")
+	}
+	udp := s
+	udp.Proto = netflow.ProtoUDP
+	if Classify(&udp) != Failure {
+		t.Error("UDP flow should classify as failure")
+	}
+}
+
+func TestTRWFlagsScanner(t *testing.T) {
+	var records []netflow.Record
+	for i := 0; i < 20; i++ {
+		records = append(records, probe("6.6.6.6", dstAddr(i), t0.Add(time.Duration(i)*time.Second)))
+	}
+	got, err := DetectTRW(records, DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(netaddr.MustParseAddr("6.6.6.6")) {
+		t.Fatalf("scanners = %v, want {6.6.6.6}", got)
+	}
+}
+
+func TestTRWIgnoresBenignClient(t *testing.T) {
+	var records []netflow.Record
+	// A busy benign client: many destinations, nearly all succeed.
+	for i := 0; i < 40; i++ {
+		records = append(records, session("7.7.7.7", dstAddr(i), t0.Add(time.Duration(i)*time.Second)))
+	}
+	records = append(records, probe("7.7.7.7", dstAddr(99), t0.Add(time.Hour)))
+	got, err := DetectTRW(records, DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("benign client flagged: %v", got)
+	}
+}
+
+func TestTRWRepeatDestinationsNotEvidence(t *testing.T) {
+	var records []netflow.Record
+	// Many failures, all to the same destination: retries, not a scan.
+	for i := 0; i < 50; i++ {
+		records = append(records, probe("8.8.8.8", dstAddr(1), t0.Add(time.Duration(i)*time.Second)))
+	}
+	got, err := DetectTRW(records, DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("retry traffic flagged as scanning: %v", got)
+	}
+}
+
+func TestTRWMixedPopulation(t *testing.T) {
+	var records []netflow.Record
+	for i := 0; i < 25; i++ {
+		records = append(records, probe("6.6.6.6", dstAddr(i), t0.Add(time.Duration(i)*time.Second)))
+		records = append(records, session("7.7.7.7", dstAddr(i), t0.Add(time.Duration(i)*time.Second)))
+	}
+	got, err := DetectTRW(records, DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(netaddr.MustParseAddr("6.6.6.6")) {
+		t.Fatalf("scanners = %v", got)
+	}
+}
+
+func TestTRWConfigValidation(t *testing.T) {
+	bad := []TRWConfig{
+		{Theta0: 0.2, Theta1: 0.8, Alpha: 0.01, Beta: 0.01}, // reversed
+		{Theta0: 0.8, Theta1: 0.2, Alpha: 0, Beta: 0.01},
+		{Theta0: 1, Theta1: 0.2, Alpha: 0.01, Beta: 0.01},
+		{Theta0: 0.8, Theta1: 0.2, Alpha: 0.01, Beta: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTRW(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTRWSourceCount(t *testing.T) {
+	tr, err := NewTRW(DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := probe("1.1.1.1", dstAddr(0), t0)
+	r2 := probe("2.2.2.2", dstAddr(0), t0)
+	tr.Observe(&r1)
+	tr.Observe(&r2)
+	tr.Observe(&r1)
+	if tr.SourceCount() != 2 {
+		t.Fatalf("SourceCount = %d, want 2", tr.SourceCount())
+	}
+}
+
+func TestThresholdFlagsHourlyScanner(t *testing.T) {
+	var records []netflow.Record
+	// 40 distinct failed targets within a single hour.
+	for i := 0; i < 40; i++ {
+		records = append(records, probe("6.6.6.6", dstAddr(i), t0.Add(time.Duration(i)*time.Minute/2)))
+	}
+	got, err := DetectThreshold(records, DefaultThresholdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(netaddr.MustParseAddr("6.6.6.6")) {
+		t.Fatalf("scanners = %v", got)
+	}
+}
+
+func TestThresholdMissesSlowScanner(t *testing.T) {
+	// The §6.2 blind spot: under 30 addresses per day, spread out, never
+	// 32 in one hour.
+	var records []netflow.Record
+	for day := 0; day < 5; day++ {
+		for i := 0; i < 25; i++ {
+			at := t0.Add(time.Duration(day)*24*time.Hour + time.Duration(i)*37*time.Minute)
+			records = append(records, probe("9.9.9.9", dstAddr(day*25+i), at))
+		}
+	}
+	got, err := DetectThreshold(records, DefaultThresholdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("slow scanner should evade the hourly detector, got %v", got)
+	}
+	// But TRW, which is rate-independent, must catch it.
+	trw, err := DetectTRW(records, DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trw.Len() != 1 {
+		t.Fatalf("TRW should catch the slow scanner, got %v", trw)
+	}
+}
+
+func TestThresholdIgnoresBusySuccessfulClient(t *testing.T) {
+	var records []netflow.Record
+	for i := 0; i < 60; i++ {
+		records = append(records, session("7.7.7.7", dstAddr(i), t0.Add(time.Duration(i)*time.Minute/2)))
+	}
+	got, err := DetectThreshold(records, DefaultThresholdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("successful fan-out flagged: %v", got)
+	}
+}
+
+func TestThresholdConfigValidation(t *testing.T) {
+	bad := []ThresholdConfig{
+		{Window: 0, MinTargets: 32, MinFailureRatio: 0.5},
+		{Window: time.Hour, MinTargets: 1, MinFailureRatio: 0.5},
+		{Window: time.Hour, MinTargets: 32, MinFailureRatio: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := DetectThreshold(nil, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestThresholdDedupesDestinationOutcomes(t *testing.T) {
+	// A destination probed then successfully connected counts once, as a
+	// success, so heavy retried traffic to few hosts never flags.
+	var records []netflow.Record
+	for i := 0; i < 40; i++ {
+		records = append(records, probe("5.5.5.5", dstAddr(i%4), t0.Add(time.Duration(i)*time.Second)))
+		records = append(records, session("5.5.5.5", dstAddr(i%4), t0.Add(time.Duration(i)*time.Second+500*time.Millisecond)))
+	}
+	got, err := DetectThreshold(records, DefaultThresholdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("retried traffic to 4 hosts flagged: %v", got)
+	}
+}

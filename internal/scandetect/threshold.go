@@ -1,0 +1,98 @@
+package scandetect
+
+import (
+	"fmt"
+	"time"
+
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
+)
+
+// ThresholdConfig parameterizes the hourly fan-out detector: a source is a
+// scanner if, within any single clock hour, it contacts at least MinTargets
+// distinct destinations of which at least MinFailureRatio fail.
+type ThresholdConfig struct {
+	// Window is the bucketing interval (the paper's detector is
+	// "calibrated to identify scans that take place over an hour").
+	Window time.Duration
+	// MinTargets is the distinct-destination fan-out threshold per window.
+	MinTargets int
+	// MinFailureRatio is the minimum fraction of failed contacts per
+	// window for the fan-out to count as scanning rather than a busy
+	// client.
+	MinFailureRatio float64
+}
+
+// DefaultThresholdConfig returns the hour/32-target/0.5-failure settings
+// used for the observed scan reports. A scanner probing fewer than ~30
+// addresses per day never trips it — the slow-scanner blind spot the
+// paper observes in its unknown population (§6.2).
+func DefaultThresholdConfig() ThresholdConfig {
+	return ThresholdConfig{Window: time.Hour, MinTargets: 32, MinFailureRatio: 0.5}
+}
+
+func (c ThresholdConfig) validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("scandetect: window must be positive")
+	}
+	if c.MinTargets < 2 {
+		return fmt.Errorf("scandetect: MinTargets must be at least 2")
+	}
+	if c.MinFailureRatio < 0 || c.MinFailureRatio > 1 {
+		return fmt.Errorf("scandetect: MinFailureRatio must be in [0,1]")
+	}
+	return nil
+}
+
+type hourBucket struct {
+	src  netaddr.Addr
+	hour int64
+}
+
+type bucketStats struct {
+	dsts map[netaddr.Addr]Outcome
+}
+
+// DetectThreshold runs the hourly fan-out detector over a record slice and
+// returns the flagged scanners.
+func DetectThreshold(records []netflow.Record, cfg ThresholdConfig) (ipset.Set, error) {
+	if err := cfg.validate(); err != nil {
+		return ipset.Set{}, err
+	}
+	buckets := make(map[hourBucket]*bucketStats)
+	for i := range records {
+		r := &records[i]
+		key := hourBucket{src: r.SrcAddr, hour: r.First.UnixNano() / int64(cfg.Window)}
+		b := buckets[key]
+		if b == nil {
+			b = &bucketStats{dsts: make(map[netaddr.Addr]Outcome)}
+			buckets[key] = b
+		}
+		// A destination that ever succeeded in the window stays a success.
+		if prev, seen := b.dsts[r.DstAddr]; !seen || prev == Failure {
+			b.dsts[r.DstAddr] = Classify(r)
+		}
+	}
+	out := ipset.NewBuilder(0)
+	flagged := make(map[netaddr.Addr]struct{})
+	for key, b := range buckets {
+		if _, done := flagged[key.src]; done {
+			continue
+		}
+		if len(b.dsts) < cfg.MinTargets {
+			continue
+		}
+		failures := 0
+		for _, o := range b.dsts {
+			if o == Failure {
+				failures++
+			}
+		}
+		if float64(failures) >= cfg.MinFailureRatio*float64(len(b.dsts)) {
+			flagged[key.src] = struct{}{}
+			out.Add(key.src)
+		}
+	}
+	return out.Build(), nil
+}

@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"unclean/internal/ipset"
+	"unclean/internal/stats"
+)
+
+// Activity-kind salts for the deterministic per-day coins.
+const (
+	kindScan = iota + 1
+	kindSpam
+)
+
+// BotsActive returns the addresses of all hosts compromised at any point
+// in [from, to] (inclusive dates) — the full ground-truth infected
+// population, monitored or not.
+func (w *World) BotsActive(from, to time.Time) ipset.Set {
+	return w.botsActive(from, to, 0)
+}
+
+// MonitoredBotsActive returns the compromised hosts whose C&C is covered
+// by the third-party IRC monitoring: the membership of a provided bot
+// report for the window.
+func (w *World) MonitoredBotsActive(from, to time.Time) ipset.Set {
+	return w.botsActive(from, to, epMonitored)
+}
+
+func (w *World) botsActive(from, to time.Time, requiredFlags uint8) ipset.Set {
+	lo, hi := w.clampDays(from, to)
+	b := ipset.NewBuilder(0)
+	for i := range w.episodes {
+		ep := &w.episodes[i]
+		if ep.flags&requiredFlags != requiredFlags {
+			continue
+		}
+		if int(ep.startDay) <= hi && int(ep.endDay) >= lo {
+			b.Add(w.addrOf(ep))
+		}
+	}
+	return b.Build()
+}
+
+func (w *World) clampDays(from, to time.Time) (lo, hi int) {
+	lo, hi = w.DayIndex(from), w.DayIndex(to)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= w.days {
+		hi = w.days - 1
+	}
+	if hi < lo {
+		hi = lo - 1 // empty range
+	}
+	return lo, hi
+}
+
+// ScannersOn returns the ground-truth set of hosts that scan the observed
+// network on the given day.
+func (w *World) ScannersOn(day time.Time) ipset.Set {
+	d := w.DayIndex(day)
+	if d < 0 || d >= w.days {
+		return ipset.Set{}
+	}
+	b := ipset.NewBuilder(0)
+	for _, epIdx := range w.episodesByDay[d] {
+		ep := &w.episodes[epIdx]
+		if ep.flags&epScanner == 0 {
+			continue
+		}
+		if w.activeOn(epIdx, ep, d, kindScan) {
+			b.Add(w.addrOf(ep))
+		}
+	}
+	return b.Build()
+}
+
+// SpammersOn returns the ground-truth set of hosts spamming the observed
+// network on the given day.
+func (w *World) SpammersOn(day time.Time) ipset.Set {
+	d := w.DayIndex(day)
+	if d < 0 || d >= w.days {
+		return ipset.Set{}
+	}
+	b := ipset.NewBuilder(0)
+	for _, epIdx := range w.episodesByDay[d] {
+		ep := &w.episodes[epIdx]
+		if ep.flags&epSpammer == 0 {
+			continue
+		}
+		if w.activeOn(epIdx, ep, d, kindSpam) {
+			b.Add(w.addrOf(ep))
+		}
+	}
+	return b.Build()
+}
+
+// DailyScanners returns the ground-truth daily scanner sets for every day
+// in [from, to]: the Figure 1 time series. Index 0 is `from`.
+func (w *World) DailyScanners(from, to time.Time) []ipset.Set {
+	lo, hi := w.clampDays(from, to)
+	out := make([]ipset.Set, 0, hi-lo+1)
+	for d := lo; d <= hi; d++ {
+		out = append(out, w.ScannersOn(w.Date(d)))
+	}
+	return out
+}
+
+// ControlSample draws the control report membership: size distinct
+// addresses observed in payload-bearing TCP traffic crossing the observed
+// network during the control week. The draw is activity-weighted over the
+// model's active population — the structure, not the identity, of the
+// sources is what the empirical estimates consume.
+func (w *World) ControlSample(size int, rng *stats.RNG) (ipset.Set, error) {
+	max := w.Model.TotalHosts() / 2
+	if size > max {
+		return ipset.Set{}, fmt.Errorf("simnet: control size %d exceeds half the active population (%d)", size, max)
+	}
+	return w.Model.SampleAddrSet(size, rng), nil
+}
+
+// ScaledSize converts a paper-scale cardinality to this world's scale,
+// with a floor of 1.
+func (w *World) ScaledSize(paperSize int) int {
+	n := int(float64(paperSize) * w.Cfg.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

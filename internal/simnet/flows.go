@@ -1,0 +1,334 @@
+package simnet
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
+	"unclean/internal/stats"
+)
+
+// FlowOptions controls traffic synthesis.
+type FlowOptions struct {
+	// BenignSourcesPerDay is the number of distinct legitimate client
+	// sources generating payload-bearing sessions each day.
+	BenignSourcesPerDay int
+	// CandidateExtras adds the low-and-slow traffic the blocking analysis
+	// observes inside the bot-test /24s: unmonitored suspicious hosts
+	// (ephemeral-to-ephemeral, slow probing — the unknown population) and
+	// the occasional legitimate client (the innocent population).
+	CandidateExtras bool
+}
+
+// DefaultFlowOptions returns the options used by the experiment harness.
+func DefaultFlowOptions() FlowOptions {
+	return FlowOptions{BenignSourcesPerDay: 400, CandidateExtras: true}
+}
+
+// Common scan target ports of the era (MS-RPC, NetBIOS, SMB, MSSQL,
+// Symantec AV, Sasser FTP backdoor).
+var scanPorts = []uint16{135, 139, 445, 1433, 2967, 5554}
+
+// SynthesizeFlows generates the NetFlow records crossing the observed
+// network's border for [from, to] (inclusive dates). Output is sorted by
+// flow start time. Generation is deterministic per (world seed, day) and
+// independent across days, so days are synthesized concurrently;
+// overlapping windows agree on their shared days and concurrency never
+// changes the output.
+func (w *World) SynthesizeFlows(from, to time.Time, opts FlowOptions) []netflow.Record {
+	lo, hi := w.clampDays(from, to)
+	if hi < lo {
+		return nil
+	}
+	perDay := make([][]netflow.Record, hi-lo+1)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for d := lo; d <= hi; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perDay[d-lo] = w.synthesizeDay(d, opts, nil)
+		}(d)
+	}
+	wg.Wait()
+	total := 0
+	for _, day := range perDay {
+		total += len(day)
+	}
+	out := make([]netflow.Record, 0, total)
+	for _, day := range perDay {
+		out = append(out, day...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	return out
+}
+
+func (w *World) synthesizeDay(d int, opts FlowOptions, out []netflow.Record) []netflow.Record {
+	rng := stats.NewRNG(w.Cfg.Seed ^ 0xf10f ^ uint64(d)<<16)
+	day := w.Date(d)
+
+	// 1. Bot activity: scanning and spamming.
+	for _, epIdx := range w.episodesByDay[d] {
+		ep := &w.episodes[epIdx]
+		src := w.addrOf(ep)
+		if ep.flags&epScanner != 0 && w.activeOn(epIdx, ep, d, kindScan) {
+			if ep.flags&epSlow != 0 {
+				out = w.slowScanFlows(rng, day, src, out)
+			} else {
+				out = w.fastScanFlows(rng, day, src, out)
+			}
+		}
+		if ep.flags&epSpammer != 0 && w.activeOn(epIdx, ep, d, kindSpam) {
+			out = w.spamFlows(rng, day, src, out)
+		}
+	}
+
+	// 2. DDoS campaigns scheduled for this day.
+	for _, c := range w.campaigns {
+		if c.Day != d {
+			continue
+		}
+		var participants []netaddr.Addr
+		w.DDoSParticipants(c).Each(func(a netaddr.Addr) bool {
+			participants = append(participants, a)
+			return true
+		})
+		for _, src := range participants {
+			out = w.ddosFlows(rng, day, src, c, out)
+		}
+	}
+
+	// 3. Benign clients with a limited, stable audience (locality).
+	for i := 0; i < opts.BenignSourcesPerDay; i++ {
+		src := w.Model.SampleAddr(rng)
+		out = w.benignFlows(rng, day, src, out)
+	}
+
+	// 4. Candidate-block extras.
+	if opts.CandidateExtras {
+		out = w.candidateExtraFlows(rng, d, out)
+	}
+	return out
+}
+
+// at builds a timestamp on day at the given offset.
+func at(day time.Time, offset time.Duration) time.Time { return day.Add(offset) }
+
+// randObservedAddr draws a uniform address inside the observed network —
+// overwhelmingly dark space, as a scanner would find.
+func (w *World) randObservedAddr(rng *stats.RNG) netaddr.Addr {
+	blocks := w.Model.Observed()
+	b := blocks[rng.Intn(len(blocks))]
+	return b.Base() + netaddr.Addr(rng.Uint64n(b.Size()))
+}
+
+// mailServer returns one of the observed network's SMTP servers.
+func (w *World) mailServer(i int) netaddr.Addr {
+	b := w.Model.Observed()[0]
+	return b.Base() + netaddr.Addr(256+uint32(i%64))
+}
+
+// webServer returns one of the observed network's public web servers.
+func (w *World) webServer(i int) netaddr.Addr {
+	b := w.Model.Observed()[0]
+	return b.Base() + netaddr.Addr(1024+uint32(i%256))
+}
+
+func ephemeralPort(rng *stats.RNG) uint16 { return uint16(1024 + rng.Intn(64000)) }
+
+// fastScanFlows emits a burst scan: dozens of distinct targets within a
+// single hour, nearly all failing — what the hourly threshold detector is
+// calibrated to catch.
+func (w *World) fastScanFlows(rng *stats.RNG, day time.Time, src netaddr.Addr, out []netflow.Record) []netflow.Record {
+	targets := 40 + rng.Intn(40)
+	hour := time.Duration(rng.Intn(24)) * time.Hour
+	port := scanPorts[rng.Intn(len(scanPorts))]
+	for i := 0; i < targets; i++ {
+		start := at(day, hour+time.Duration(rng.Intn(3600))*time.Second)
+		r := netflow.Record{
+			SrcAddr: src, DstAddr: w.randObservedAddr(rng),
+			Packets: 2, Octets: 96,
+			First: start, Last: start.Add(3 * time.Second),
+			SrcPort: ephemeralPort(rng), DstPort: port,
+			TCPFlags: netflow.FlagSYN, Proto: netflow.ProtoTCP,
+		}
+		if rng.Bool(0.04) { // the rare live service answers
+			r.TCPFlags |= netflow.FlagACK | netflow.FlagPSH
+			r.Packets, r.Octets = 6, 6*40+200
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// slowScanFlows emits a low-and-slow scan: under 30 targets spread across
+// the whole day — invisible to the hourly detector (§6.2).
+func (w *World) slowScanFlows(rng *stats.RNG, day time.Time, src netaddr.Addr, out []netflow.Record) []netflow.Record {
+	targets := 8 + rng.Intn(18) // < 30 addresses per day
+	port := scanPorts[rng.Intn(len(scanPorts))]
+	for i := 0; i < targets; i++ {
+		start := at(day, time.Duration(rng.Intn(86400))*time.Second)
+		out = append(out, netflow.Record{
+			SrcAddr: src, DstAddr: w.randObservedAddr(rng),
+			Packets: 3, Octets: 156, // 36 "payload" bytes of TCP options
+			First: start, Last: start.Add(9 * time.Second),
+			SrcPort: ephemeralPort(rng), DstPort: port,
+			TCPFlags: netflow.FlagSYN, Proto: netflow.ProtoTCP,
+		})
+	}
+	return out
+}
+
+// spamFlows emits a bot's SMTP delivery attempts: many distinct mail
+// servers, small template messages, a high rejection rate.
+func (w *World) spamFlows(rng *stats.RNG, day time.Time, src netaddr.Addr, out []netflow.Record) []netflow.Record {
+	flows := 15 + rng.Intn(20)
+	base := time.Duration(rng.Intn(20)) * time.Hour
+	for i := 0; i < flows; i++ {
+		start := at(day, base+time.Duration(rng.Intn(7200))*time.Second)
+		r := netflow.Record{
+			SrcAddr: src, DstAddr: w.mailServer(rng.Intn(64)),
+			First: start, Last: start.Add(8 * time.Second),
+			SrcPort: ephemeralPort(rng), DstPort: 25, Proto: netflow.ProtoTCP,
+		}
+		if rng.Bool(0.55) { // delivered: small, uniform template mail
+			r.TCPFlags = netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH | netflow.FlagFIN
+			r.Packets = 8 + uint32(rng.Intn(4))
+			r.Octets = r.Packets*40 + 600 + uint32(rng.Intn(1500))
+		} else { // refused or tarpitted
+			r.TCPFlags = netflow.FlagSYN | netflow.FlagRST
+			r.Packets, r.Octets = 3, 128
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// benignFlows emits a legitimate client's sessions against the observed
+// network's public servers.
+func (w *World) benignFlows(rng *stats.RNG, day time.Time, src netaddr.Addr, out []netflow.Record) []netflow.Record {
+	sessions := 2 + rng.Intn(9)
+	base := time.Duration(rng.Intn(22)) * time.Hour
+	for i := 0; i < sessions; i++ {
+		start := at(day, base+time.Duration(rng.Intn(5400))*time.Second)
+		dst := w.webServer(rng.Intn(256))
+		dport := uint16(80)
+		if rng.Bool(0.3) {
+			dport = 443
+		}
+		pkts := 8 + uint32(rng.Intn(40))
+		r := netflow.Record{
+			SrcAddr: src, DstAddr: dst,
+			Packets: pkts, Octets: pkts*40 + uint32(rng.LogNormal(7.2, 1.1)),
+			First: start, Last: start.Add(time.Duration(5+rng.Intn(120)) * time.Second),
+			SrcPort: ephemeralPort(rng), DstPort: dport,
+			TCPFlags: netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH | netflow.FlagFIN,
+			Proto:    netflow.ProtoTCP,
+		}
+		if rng.Bool(0.02) { // the odd failed fetch
+			r.TCPFlags = netflow.FlagSYN | netflow.FlagRST
+			r.Packets, r.Octets = 2, 96
+		}
+		out = append(out, r)
+	}
+	// A small share of legitimate hosts are mail relays; their SMTP
+	// profile (few servers, large bodies, low rejection) must not trip
+	// the spam detector.
+	if rng.Bool(0.03) {
+		mails := 3 + rng.Intn(5)
+		for i := 0; i < mails; i++ {
+			start := at(day, base+time.Duration(rng.Intn(7200))*time.Second)
+			pkts := 20 + uint32(rng.Intn(60))
+			out = append(out, netflow.Record{
+				SrcAddr: src, DstAddr: w.mailServer(rng.Intn(6)),
+				Packets: pkts, Octets: pkts*40 + 8000 + uint32(rng.Intn(60000)),
+				First: start, Last: start.Add(20 * time.Second),
+				SrcPort: ephemeralPort(rng), DstPort: 25,
+				TCPFlags: netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH | netflow.FlagFIN,
+				Proto:    netflow.ProtoTCP,
+			})
+		}
+	}
+	return out
+}
+
+// candidateExtraFlows generates the residual traffic inside the bot-test
+// /24s: per-block pools of suspicious hosts probing slowly or talking
+// ephemeral-to-ephemeral without payload (the unknown population), plus
+// rare legitimate clients (the innocent population). Pools are derived
+// deterministically from the block base so the same hosts recur across
+// the window, exactly as hand-examination found in §6.2.
+func (w *World) candidateExtraFlows(rng *stats.RNG, d int, out []netflow.Record) []netflow.Record {
+	day := w.Date(d)
+	var blocks []netaddr.Addr
+	w.botTestBlocks.Each(func(base netaddr.Addr) bool {
+		blocks = append(blocks, base)
+		return true
+	})
+	for _, base := range blocks {
+		pool := stats.NewRNG(w.Cfg.Seed ^ 0xb10c ^ uint64(base))
+		nSuspicious := 2 + pool.Intn(3)
+		for h := 0; h < nSuspicious; h++ {
+			host := base + netaddr.Addr(1+pool.Intn(254))
+			// Skip days pseudo-randomly; each host shows up on roughly
+			// half the days.
+			if !stats.NewRNG(w.Cfg.Seed ^ 0x5105 ^ uint64(host) ^ uint64(d)<<32).Bool(0.5) {
+				continue
+			}
+			if pool.Bool(0.5) {
+				out = w.slowScanFlows(rng, day, host, out)
+			} else {
+				// Ephemeral-to-ephemeral chatter with no payload.
+				flows := 4 + rng.Intn(14)
+				for i := 0; i < flows; i++ {
+					start := at(day, time.Duration(rng.Intn(86400))*time.Second)
+					out = append(out, netflow.Record{
+						SrcAddr: host, DstAddr: w.randObservedAddr(rng),
+						Packets: 2, Octets: 104,
+						First: start, Last: start.Add(2 * time.Second),
+						SrcPort: ephemeralPort(rng), DstPort: ephemeralPort(rng),
+						TCPFlags: netflow.FlagSYN, Proto: netflow.ProtoTCP,
+					})
+				}
+			}
+		}
+		// Rare legitimate client inside the block: ~15% of blocks have
+		// one, active on a couple of days of the window.
+		if pool.Bool(0.15) {
+			host := base + netaddr.Addr(1+pool.Intn(254))
+			if stats.NewRNG(w.Cfg.Seed ^ 0x1881 ^ uint64(host) ^ uint64(d)<<32).Bool(0.18) {
+				out = w.benignFlows(rng, day, host, out)
+			}
+		}
+	}
+	return out
+}
+
+// PayloadBearingSources returns the distinct sources with at least one
+// payload-bearing flow in records.
+func PayloadBearingSources(records []netflow.Record) ipset.Set {
+	b := ipset.NewBuilder(0)
+	for i := range records {
+		if records[i].PayloadBearing() {
+			b.Add(records[i].SrcAddr)
+		}
+	}
+	return b.Build()
+}
+
+// TCPSources returns the distinct sources with at least one TCP flow.
+func TCPSources(records []netflow.Record) ipset.Set {
+	b := ipset.NewBuilder(0)
+	for i := range records {
+		if records[i].Proto == netflow.ProtoTCP {
+			b.Add(records[i].SrcAddr)
+		}
+	}
+	return b.Build()
+}

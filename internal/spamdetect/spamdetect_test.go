@@ -1,0 +1,136 @@
+package spamdetect
+
+import (
+	"testing"
+	"time"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
+)
+
+var t0 = time.Date(2006, 10, 2, 9, 0, 0, 0, time.UTC)
+
+func smtpFlow(src string, dstIdx int, payload uint32, delivered bool, at time.Time) netflow.Record {
+	r := netflow.Record{
+		SrcAddr: netaddr.MustParseAddr(src),
+		DstAddr: netaddr.MakeAddr(30, 1, byte(dstIdx), 25),
+		First:   at, Last: at.Add(5 * time.Second),
+		SrcPort: 3456, DstPort: SMTPPort, Proto: netflow.ProtoTCP,
+	}
+	if delivered {
+		r.TCPFlags = netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH | netflow.FlagFIN
+		r.Packets = 10
+		r.Octets = 10*40 + payload
+	} else {
+		r.TCPFlags = netflow.FlagSYN | netflow.FlagRST
+		r.Packets = 3
+		r.Octets = 120
+	}
+	return r
+}
+
+func TestDetectFlagsSpammer(t *testing.T) {
+	var records []netflow.Record
+	// A bot delivering small template mail to 20 servers, half rejected.
+	for i := 0; i < 20; i++ {
+		records = append(records, smtpFlow("6.6.6.6", i, 900, i%2 == 0, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	got, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(netaddr.MustParseAddr("6.6.6.6")) {
+		t.Fatalf("spammers = %v", got)
+	}
+}
+
+func TestDetectIgnoresLegitimateRelay(t *testing.T) {
+	var records []netflow.Record
+	// A real relay: many servers but nearly all delivered, large bodies.
+	for i := 0; i < 30; i++ {
+		records = append(records, smtpFlow("7.7.7.7", i, 60000, i != 0, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	got, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("legitimate relay flagged: %v", got)
+	}
+}
+
+func TestDetectIgnoresLowVolume(t *testing.T) {
+	var records []netflow.Record
+	// A personal mail server: few destinations.
+	for i := 0; i < 5; i++ {
+		records = append(records, smtpFlow("8.8.8.8", i, 500, i%2 == 0, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	got, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("low-volume sender flagged: %v", got)
+	}
+}
+
+func TestDetectIgnoresNonSMTP(t *testing.T) {
+	var records []netflow.Record
+	for i := 0; i < 30; i++ {
+		r := smtpFlow("9.9.9.9", i, 500, false, t0)
+		r.DstPort = 80
+		records = append(records, r)
+	}
+	got, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("non-SMTP traffic flagged: %v", got)
+	}
+}
+
+func TestDetectAllRejected(t *testing.T) {
+	// A bot whose every delivery is refused still gets flagged (reject
+	// ratio 1.0, zero delivered payload).
+	var records []netflow.Record
+	for i := 0; i < 15; i++ {
+		records = append(records, smtpFlow("6.6.6.7", i, 0, false, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	got, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("fully-rejected spammer not flagged: %v", got)
+	}
+}
+
+func TestDetectMixedPopulation(t *testing.T) {
+	var records []netflow.Record
+	for i := 0; i < 20; i++ {
+		records = append(records, smtpFlow("6.6.6.6", i, 900, i%2 == 0, t0))
+		records = append(records, smtpFlow("7.7.7.7", i, 60000, true, t0))
+	}
+	got, err := Detect(records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(netaddr.MustParseAddr("6.6.6.6")) {
+		t.Fatalf("spammers = %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MinServers: 0, MinFlows: 1, MaxAvgPayload: 1, MinRejectRatio: 0.1},
+		{MinServers: 1, MinFlows: 0, MaxAvgPayload: 1, MinRejectRatio: 0.1},
+		{MinServers: 1, MinFlows: 1, MaxAvgPayload: 0, MinRejectRatio: 0.1},
+		{MinServers: 1, MinFlows: 1, MaxAvgPayload: 1, MinRejectRatio: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Detect(nil, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

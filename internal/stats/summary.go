@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sample using linear
+// interpolation between order statistics (type-7, the R default). The input
+// need not be sorted; it is not modified. It panics on an empty sample or
+// q outside [0, 1].
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	i := int(math.Floor(h))
+	if i >= n-1 {
+		return s[n-1]
+	}
+	frac := h - float64(i)
+	// Convex combination rather than s[i] + frac*(s[i+1]-s[i]): the
+	// difference form overflows for operands near ±MaxFloat64.
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Mean returns the arithmetic mean; zero for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range sample {
+		total += v
+	}
+	return total / float64(len(sample))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator); zero for
+// samples of size < 2.
+func StdDev(sample []float64) float64 {
+	n := len(sample)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(sample)
+	ss := 0.0
+	for _, v := range sample {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Boxplot is the five-number summary plus mean that the paper's figures
+// draw for the 1000 random control subsets at each prefix length.
+type Boxplot struct {
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	N      int
+}
+
+// Summarize computes the boxplot summary of a sample. It panics on an
+// empty sample.
+func Summarize(sample []float64) Boxplot {
+	if len(sample) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return Boxplot{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+		N:      len(s),
+	}
+}
+
+// String renders the summary compactly for experiment output.
+func (b Boxplot) String() string {
+	return fmt.Sprintf("min=%.1f q1=%.1f med=%.1f q3=%.1f max=%.1f mean=%.1f n=%d",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean, b.N)
+}
+
+// Empirical is an empirical distribution built from a sample, used for the
+// paper's 95% better-predictor criterion: a report beats control at a prefix
+// length if its statistic exceeds the control statistic in at least 95% of
+// the 1000 random draws.
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical builds an empirical distribution; it copies the sample.
+func NewEmpirical(sample []float64) *Empirical {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &Empirical{sorted: s}
+}
+
+// N returns the sample size.
+func (e *Empirical) N() int { return len(e.sorted) }
+
+// FractionBelow returns the fraction of sample points strictly less than x.
+func (e *Empirical) FractionBelow(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the stored sample.
+func (e *Empirical) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		panic("stats: quantile of empty empirical distribution")
+	}
+	return quantileSorted(e.sorted, q)
+}
+
+// Summary returns the boxplot of the stored sample.
+func (e *Empirical) Summary() Boxplot {
+	if len(e.sorted) == 0 {
+		panic("stats: summary of empty empirical distribution")
+	}
+	return Boxplot{
+		Min:    e.sorted[0],
+		Q1:     quantileSorted(e.sorted, 0.25),
+		Median: quantileSorted(e.sorted, 0.5),
+		Q3:     quantileSorted(e.sorted, 0.75),
+		Max:    e.sorted[len(e.sorted)-1],
+		Mean:   Mean(e.sorted),
+		N:      len(e.sorted),
+	}
+}

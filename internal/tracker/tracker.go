@@ -1,0 +1,198 @@
+// Package tracker implements the "more rigorous and precise uncleanliness
+// metric" the paper sets as its immediate follow-on goal (§7): a
+// streaming, multidimensional, time-decaying estimate of per-network
+// uncleanliness. Reports arrive dated; evidence decays exponentially with
+// a configurable half-life, so a network that stops emitting hostile
+// traffic is eventually forgiven — the operational fix for the
+// stale-blocklist problem static lists have.
+package tracker
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"unclean/internal/core"
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+)
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Bits is the block granularity (the paper's analyses support
+	// 16..32; /24 is the natural operating point).
+	Bits int
+	// HalfLife is the evidence half-life. The paper's temporal analysis
+	// shows unclean networks persist for months, so half-lives of weeks
+	// keep prediction strong while allowing recovery.
+	HalfLife time.Duration
+	// Tau is the evidence scale mapping decayed counts to [0,1] scores,
+	// as in core.Scorer: a dimension reaches 1-1/e at Tau evidence.
+	Tau float64
+}
+
+// DefaultConfig returns /24 blocks, a six-week half-life, tau 4.
+func DefaultConfig() Config {
+	return Config{Bits: 24, HalfLife: 42 * 24 * time.Hour, Tau: 4}
+}
+
+func (c Config) validate() error {
+	if c.Bits < 0 || c.Bits > 32 {
+		return fmt.Errorf("tracker: Bits out of range")
+	}
+	if c.HalfLife <= 0 {
+		return fmt.Errorf("tracker: HalfLife must be positive")
+	}
+	if c.Tau <= 0 {
+		return fmt.Errorf("tracker: Tau must be positive")
+	}
+	return nil
+}
+
+type blockState struct {
+	counts [4]float64
+	asOf   time.Time
+}
+
+// Tracker accumulates dated report evidence per block. The zero value is
+// not usable; construct with New.
+type Tracker struct {
+	cfg    Config
+	lambda float64 // decay rate per nanosecond
+	blocks map[netaddr.Addr]*blockState
+	now    time.Time
+}
+
+// New builds a tracker.
+func New(cfg Config) (*Tracker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		cfg:    cfg,
+		lambda: math.Ln2 / float64(cfg.HalfLife),
+		blocks: make(map[netaddr.Addr]*blockState),
+	}, nil
+}
+
+// Config returns the tracker's configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Now returns the tracker's clock: the latest time it has seen.
+func (t *Tracker) Now() time.Time { return t.now }
+
+// BlockCount returns the number of blocks with evidence.
+func (t *Tracker) BlockCount() int { return len(t.blocks) }
+
+// decayTo brings a block's evidence forward to at (no-op if at is not
+// later than the block's timestamp).
+func (t *Tracker) decayTo(b *blockState, at time.Time) {
+	dt := at.Sub(b.asOf)
+	if dt <= 0 {
+		return
+	}
+	f := math.Exp(-t.lambda * float64(dt))
+	for d := range b.counts {
+		b.counts[d] *= f
+	}
+	b.asOf = at
+}
+
+// Observe folds a dated report into the tracker. Reports may arrive out
+// of order; evidence older than a block's current timestamp is
+// discounted by the decay it would have suffered, which makes Observe
+// order-independent.
+func (t *Tracker) Observe(dim core.Dimension, addrs ipset.Set, at time.Time) error {
+	if dim > core.DimPhish {
+		return fmt.Errorf("tracker: unknown dimension %v", dim)
+	}
+	if at.After(t.now) {
+		t.now = at
+	}
+	var err error
+	addrs.Each(func(a netaddr.Addr) bool {
+		base := a.Mask(t.cfg.Bits)
+		b := t.blocks[base]
+		if b == nil {
+			b = &blockState{asOf: at}
+			t.blocks[base] = b
+		}
+		if at.Before(b.asOf) {
+			// Late arrival: discount to the block's clock.
+			b.counts[dim] += math.Exp(-t.lambda * float64(b.asOf.Sub(at)))
+		} else {
+			t.decayTo(b, at)
+			b.counts[dim]++
+		}
+		return true
+	})
+	return err
+}
+
+// AdvanceTo moves the tracker clock forward (evidence decays lazily; this
+// only affects Now and subsequent scoring).
+func (t *Tracker) AdvanceTo(at time.Time) {
+	if at.After(t.now) {
+		t.now = at
+	}
+}
+
+// Score returns the block score for the address as of the tracker clock.
+func (t *Tracker) Score(a netaddr.Addr) core.Score {
+	return t.ScoreAt(a, t.now)
+}
+
+// ScoreAt returns the block score as of an explicit time at or after the
+// block's evidence timestamp.
+func (t *Tracker) ScoreAt(a netaddr.Addr, at time.Time) core.Score {
+	b := t.blocks[a.Mask(t.cfg.Bits)]
+	if b == nil {
+		return core.Score{}
+	}
+	var decayed [4]float64
+	f := 1.0
+	if dt := at.Sub(b.asOf); dt > 0 {
+		f = math.Exp(-t.lambda * float64(dt))
+	}
+	var out core.Score
+	cleanProduct := 1.0
+	for d := range b.counts {
+		decayed[d] = b.counts[d] * f
+		v := 1 - math.Exp(-decayed[d]/t.cfg.Tau)
+		out.ByDim[d] = v
+		cleanProduct *= 1 - v
+	}
+	out.Aggregate = 1 - cleanProduct
+	return out
+}
+
+// Blocklist returns the block base addresses whose aggregate score, as of
+// the tracker clock, meets the threshold.
+func (t *Tracker) Blocklist(threshold float64) ipset.Set {
+	b := ipset.NewBuilder(0)
+	for base := range t.blocks {
+		if t.ScoreAt(base, t.now).Aggregate >= threshold {
+			b.Add(base)
+		}
+	}
+	return b.Build()
+}
+
+// Prune drops blocks whose total decayed evidence, as of the tracker
+// clock, is below minEvidence; it returns how many were dropped. Long
+// deployments call this periodically to bound memory.
+func (t *Tracker) Prune(minEvidence float64) int {
+	dropped := 0
+	for base, b := range t.blocks {
+		t.decayTo(b, t.now)
+		total := 0.0
+		for _, c := range b.counts {
+			total += c
+		}
+		if total < minEvidence {
+			delete(t.blocks, base)
+			dropped++
+		}
+	}
+	return dropped
+}
