@@ -2,8 +2,10 @@ package blocklist
 
 import (
 	"testing"
+	"time"
 
 	"unclean/internal/netaddr"
+	"unclean/internal/netflow"
 	"unclean/internal/stats"
 )
 
@@ -41,6 +43,31 @@ func BenchmarkTrieLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Lookup(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkEvaluate scores a 256k-flow log against a 10k-rule list — the
+// sharded scorer path, which fans flow scoring out over all cores.
+func BenchmarkEvaluate(b *testing.B) {
+	t := benchTrie(10000)
+	rng := stats.NewRNG(12)
+	t0 := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	records := make([]netflow.Record, 1<<18)
+	for i := range records {
+		records[i] = netflow.Record{
+			SrcAddr: netaddr.Addr(rng.Uint32()),
+			DstAddr: netaddr.Addr(rng.Uint32()),
+			Packets: 2, Octets: 96,
+			First: t0, Last: t0.Add(time.Second),
+			SrcPort: 2000, DstPort: 80, Proto: netflow.ProtoTCP,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Evaluate(t, records)
+		if e.FlowsBlocked+e.FlowsPassed != len(records) {
+			b.Fatal("lost flows")
+		}
 	}
 }
 

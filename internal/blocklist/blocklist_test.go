@@ -198,6 +198,32 @@ func TestEvaluateAndScore(t *testing.T) {
 	}
 }
 
+// TestEvaluateShardedMatchesSequential drives Evaluate over a log large
+// enough to trigger the parallel sharded scorer and checks the result
+// against a forced single-shard scan of the same records.
+func TestEvaluateShardedMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(77)
+	tr := &Trie{}
+	for i := 0; i < 500; i++ {
+		tr.Insert(netaddr.Addr(rng.Uint32()).Block(16+rng.Intn(9)), "test")
+	}
+	records := make([]netflow.Record, 4*evalShardCutoff)
+	for i := range records {
+		records[i] = flowFrom(netaddr.Addr(rng.Uint32()).String(), rng.Bool(0.3))
+	}
+	got := Evaluate(tr, records)
+	want := evaluateShard(tr, records)
+	if got.FlowsBlocked != want.FlowsBlocked || got.FlowsPassed != want.FlowsPassed ||
+		got.PayloadBlocked != want.PayloadBlocked {
+		t.Fatalf("sharded counts %d/%d/%d, sequential %d/%d/%d",
+			got.FlowsBlocked, got.FlowsPassed, got.PayloadBlocked,
+			want.FlowsBlocked, want.FlowsPassed, want.PayloadBlocked)
+	}
+	if !got.BlockedSources.Equal(want.BlockedSources) || !got.PassedSources.Equal(want.PassedSources) {
+		t.Fatal("sharded source sets differ from sequential scan")
+	}
+}
+
 func TestConfusionDegenerate(t *testing.T) {
 	var c Confusion
 	if c.TPR() != 0 || c.FPR() != 0 {

@@ -5,6 +5,7 @@ import (
 
 	"unclean/internal/ipset"
 	"unclean/internal/netflow"
+	"unclean/internal/stats"
 )
 
 // Eval is the outcome of virtually applying a blocklist to a traffic log:
@@ -22,8 +23,43 @@ type Eval struct {
 	PayloadBlocked int
 }
 
-// Evaluate applies the blocklist to a traffic log.
+// evalShardCutoff is the log size below which sharding the scorer is not
+// worth the fan-out overhead.
+const evalShardCutoff = 1 << 14
+
+// Evaluate applies the blocklist to a traffic log. The trie is immutable
+// during scoring, so large logs are split into contiguous shards scored
+// concurrently on the shared worker pool and merged; counts are sums and
+// source sets are unions, so the result is identical to a sequential
+// scan regardless of shard count or scheduling.
 func Evaluate(t *Trie, records []netflow.Record) Eval {
+	shards := stats.Workers(len(records) / evalShardCutoff)
+	if shards <= 1 {
+		return evaluateShard(t, records)
+	}
+	parts := make([]Eval, shards)
+	per := (len(records) + shards - 1) / shards
+	stats.Parallel(shards, func(_, i int) {
+		lo := i * per
+		hi := min(lo+per, len(records))
+		parts[i] = evaluateShard(t, records[lo:hi])
+	})
+	var e Eval
+	blocked := ipset.NewBuilder(0)
+	passed := ipset.NewBuilder(0)
+	for _, p := range parts {
+		e.FlowsBlocked += p.FlowsBlocked
+		e.FlowsPassed += p.FlowsPassed
+		e.PayloadBlocked += p.PayloadBlocked
+		blocked.AddSet(p.BlockedSources)
+		passed.AddSet(p.PassedSources)
+	}
+	e.BlockedSources = blocked.Build()
+	e.PassedSources = passed.Build()
+	return e
+}
+
+func evaluateShard(t *Trie, records []netflow.Record) Eval {
 	blocked := ipset.NewBuilder(0)
 	passed := ipset.NewBuilder(0)
 	var e Eval

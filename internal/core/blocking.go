@@ -5,6 +5,7 @@ import (
 
 	"unclean/internal/ipset"
 	"unclean/internal/roc"
+	"unclean/internal/stats"
 )
 
 // Partition is the §6.1 decomposition of the candidate population: the
@@ -106,8 +107,11 @@ func BlockingTable(botTest ipset.Set, p Partition, pr PrefixRange) ([]BlockingRo
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
-	rows := make([]BlockingRow, 0, pr.Len())
-	for n := pr.Lo; n <= pr.Hi; n++ {
+	// Each prefix length is scored independently against the immutable
+	// partition sets, so the sweep fans out over the shared worker pool.
+	rows := make([]BlockingRow, pr.Len())
+	stats.Parallel(pr.Len(), func(_, i int) {
+		n := pr.Lo + i
 		row := BlockingRow{
 			Bits:    n,
 			TP:      p.Hostile.WithinBlocks(botTest, n).Len(),
@@ -115,8 +119,8 @@ func BlockingTable(botTest ipset.Set, p Partition, pr PrefixRange) ([]BlockingRo
 			Unknown: p.Unknown.WithinBlocks(botTest, n).Len(),
 		}
 		row.Pop = row.TP + row.FP
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows, nil
 }
 

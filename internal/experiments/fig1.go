@@ -2,14 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"unclean/internal/ipset"
 	"unclean/internal/scandetect"
 	"unclean/internal/simnet"
+	"unclean/internal/stats"
 )
 
 // Figure1Result reproduces Figure 1: the relationship between scanning
@@ -53,22 +52,13 @@ func Figure1Detected(ds *Dataset) (*Figure1Result, error) {
 	}
 	daily := make([]ipset.Set, hi-lo+1)
 	errs := make([]error, hi-lo+1)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	opts := simnet.FlowOptions{BenignSourcesPerDay: ds.Cfg.BenignPerDay, CandidateExtras: false}
-	for d := lo; d <= hi; d++ {
-		wg.Add(1)
-		go func(d int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			day := w.Date(d)
-			flows := w.SynthesizeFlows(day, day, opts)
-			scanners, err := scandetect.DetectThreshold(flows, scandetect.DefaultThresholdConfig())
-			daily[d-lo], errs[d-lo] = scanners, err
-		}(d)
-	}
-	wg.Wait()
+	stats.Parallel(hi-lo+1, func(_, i int) {
+		day := w.Date(lo + i)
+		flows := w.SynthesizeFlows(day, day, opts)
+		scanners, err := scandetect.DetectThreshold(flows, scandetect.DefaultThresholdConfig())
+		daily[i], errs[i] = scanners, err
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

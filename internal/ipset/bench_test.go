@@ -1,6 +1,7 @@
 package ipset
 
 import (
+	"sync"
 	"testing"
 
 	"unclean/internal/stats"
@@ -10,6 +11,30 @@ func benchSets(b *testing.B, n int) (Set, Set) {
 	b.Helper()
 	rng := stats.NewRNG(1)
 	return randomSet(rng, n), randomSet(rng, n)
+}
+
+// Paper-scale fixtures: a million-address control population and a
+// 50k-address target report, built once and shared by the sampling
+// benchmarks below.
+const (
+	paperControlSize = 1_000_000
+	paperDrawSize    = 30_000
+)
+
+var (
+	paperOnce    sync.Once
+	paperControl Set
+	paperTarget  Set
+)
+
+func paperSets(b *testing.B) (Set, Set) {
+	b.Helper()
+	paperOnce.Do(func() {
+		rng := stats.NewRNG(42)
+		paperControl = randomSet(rng, paperControlSize)
+		paperTarget = paperControl.Sample(50_000, rng)
+	})
+	return paperControl, paperTarget
 }
 
 func BenchmarkBuild100k(b *testing.B) {
@@ -72,6 +97,69 @@ func BenchmarkSample1kOf100k(b *testing.B) {
 		if s.Sample(1000, rng).Len() != 1000 {
 			b.Fatal("bad sample")
 		}
+	}
+}
+
+// BenchmarkSamplePaperScale draws one control subset per op at paper
+// scale. Run with -benchmem: the only allocation is the returned Set's
+// own storage (1 alloc/op); all sampler scratch comes from pooled arenas.
+func BenchmarkSamplePaperScale(b *testing.B) {
+	s, _ := paperSets(b)
+	rng := stats.NewRNG(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Sample(paperDrawSize, rng).Len() != paperDrawSize {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+// BenchmarkSampleBlocks measures the steady-state draw kernel at paper
+// scale: one op is one control draw (sample 30k of 1M, radix sort, count
+// blocks at every prefix in [16,32]) inside a single SampleBlocks call of
+// b.N draws. With -benchmem this must report 0 allocs/op: per-call setup
+// (output matrix, forked generators, arena checkout) amortizes across
+// draws, and the per-draw kernel itself never touches the heap.
+func BenchmarkSampleBlocks(b *testing.B) {
+	s, _ := paperSets(b)
+	rng := stats.NewRNG(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	dist := s.SampleBlocks(b.N, paperDrawSize, 16, 32, rng)
+	b.StopTimer()
+	if len(dist) != 17 || len(dist[0]) != b.N {
+		b.Fatal("bad distribution shape")
+	}
+}
+
+// BenchmarkSampleBlocksDense is BenchmarkSampleBlocks on the
+// Fisher-Yates branch (draw size > |S|/16), covering the sparse
+// displacement-map kernel. Also 0 allocs/op steady state.
+func BenchmarkSampleBlocksDense(b *testing.B) {
+	s, _ := paperSets(b)
+	rng := stats.NewRNG(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	dist := s.SampleBlocks(b.N, paperControlSize/8, 16, 32, rng)
+	b.StopTimer()
+	if len(dist) != 17 || len(dist[0]) != b.N {
+		b.Fatal("bad distribution shape")
+	}
+}
+
+// BenchmarkSampleIntersections measures the steady-state temporal-test
+// draw kernel (sample, sort, intersect against a 50k-address target at
+// every prefix in [16,32]). 0 allocs/op steady state.
+func BenchmarkSampleIntersections(b *testing.B) {
+	s, target := paperSets(b)
+	rng := stats.NewRNG(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	dist := s.SampleIntersections(target, b.N, paperDrawSize, 16, 32, rng)
+	b.StopTimer()
+	if len(dist) != 17 || len(dist[0]) != b.N {
+		b.Fatal("bad distribution shape")
 	}
 }
 

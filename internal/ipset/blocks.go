@@ -33,14 +33,27 @@ func (s Set) BlockCounts(lo, hi int) []int {
 		panic("ipset: invalid prefix range")
 	}
 	out := make([]int, hi-lo+1)
-	if len(s.addrs) == 0 {
-		return out
+	blockCountsInto(s.addrs, lo, hi, out)
+	return out
+}
+
+// blockCountsInto is the allocation-free core of BlockCounts, writing the
+// counts for [lo, hi] into out (len(out) >= hi-lo+1). addrs must be
+// sorted and duplicate-free. The draw kernels call this against arena
+// scratch; BlockCounts wraps it for the public API.
+func blockCountsInto(addrs []uint32, lo, hi int, out []int) {
+	out = out[:hi-lo+1]
+	if len(addrs) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
 	}
 	// hist[k] = number of consecutive pairs whose longest common prefix is
 	// exactly k bits (0..32; 32 impossible for distinct sorted values).
 	var hist [33]int
-	for i := 1; i < len(s.addrs); i++ {
-		hist[commonPrefixLen(s.addrs[i-1], s.addrs[i])]++
+	for i := 1; i < len(addrs); i++ {
+		hist[commonPrefixLen(addrs[i-1], addrs[i])]++
 	}
 	// pairsBelow(n) = #pairs with lcp < n; count(n) = 1 + pairsBelow(n).
 	pairsBelow := 0
@@ -53,7 +66,6 @@ func (s Set) BlockCounts(lo, hi int) []int {
 			out[n-lo] = 1 + pairsBelow
 		}
 	}
-	return out
 }
 
 // Blocks returns C_n(S): the distinct n-bit blocks containing members of
@@ -96,11 +108,16 @@ func (s Set) MaskedSet(n int) Set {
 // contain members of both sets. This is the predictive-capacity statistic
 // of the temporal uncleanliness test (Eq. 4).
 func (s Set) BlockIntersectCount(other Set, n int) int {
-	mask := maskFor(n)
+	return blockIntersectCount(s.addrs, other.addrs, maskFor(n))
+}
+
+// blockIntersectCount is the raw-slice core of BlockIntersectCount; the
+// draw kernels call it directly against arena scratch.
+func blockIntersectCount(x, y []uint32, mask uint32) int {
 	i, j := 0, 0
 	count := 0
-	for i < len(s.addrs) && j < len(other.addrs) {
-		a, b := s.addrs[i]&mask, other.addrs[j]&mask
+	for i < len(x) && j < len(y) {
+		a, b := x[i]&mask, y[j]&mask
 		switch {
 		case a < b:
 			i++
@@ -109,10 +126,10 @@ func (s Set) BlockIntersectCount(other Set, n int) int {
 		default:
 			count++
 			// Skip the rest of this block on both sides.
-			for i < len(s.addrs) && s.addrs[i]&mask == a {
+			for i < len(x) && x[i]&mask == a {
 				i++
 			}
-			for j < len(other.addrs) && other.addrs[j]&mask == b {
+			for j < len(y) && y[j]&mask == b {
 				j++
 			}
 		}
@@ -174,11 +191,4 @@ func maskFor(n int) uint32 {
 		return 0
 	}
 	return ^uint32(0) << (32 - uint(n))
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,9 +1,6 @@
 package ipset
 
 import (
-	"runtime"
-	"sync"
-
 	"unclean/internal/stats"
 )
 
@@ -12,8 +9,9 @@ import (
 // subsets of R_control" (§4.2). It panics if k exceeds the set size.
 //
 // For k much smaller than |S| it uses Floyd's algorithm (O(k) expected);
-// when k approaches |S| it switches to a partial Fisher-Yates over an index
-// permutation to avoid rejection stalls.
+// when k approaches |S| it switches to a sparse partial Fisher-Yates to
+// avoid rejection stalls. Both branches run on pooled scratch arenas, so
+// the only allocation is the returned Set's own storage.
 func (s Set) Sample(k int, rng *stats.RNG) Set {
 	n := len(s.addrs)
 	if k < 0 || k > n {
@@ -25,35 +23,12 @@ func (s Set) Sample(k int, rng *stats.RNG) Set {
 	if k == n {
 		return s // immutable, safe to share
 	}
-	out := make([]uint32, 0, k)
-	if k <= n/16 {
-		// Floyd's subset sampling over indices.
-		chosen := make(map[int]struct{}, k)
-		for i := n - k; i < n; i++ {
-			j := rng.Intn(i + 1)
-			if _, dup := chosen[j]; dup {
-				j = i
-			}
-			chosen[j] = struct{}{}
-		}
-		for idx := range chosen {
-			out = append(out, s.addrs[idx])
-		}
-	} else {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		// Partial Fisher-Yates: settle the first k positions only.
-		for i := 0; i < k; i++ {
-			j := i + rng.Intn(n-i)
-			idx[i], idx[j] = idx[j], idx[i]
-		}
-		for _, i := range idx[:k] {
-			out = append(out, s.addrs[i])
-		}
-	}
-	return buildSorted(out)
+	a := getArena()
+	sub := a.sampleSorted(s.addrs, k, rng)
+	out := make([]uint32, k)
+	copy(out, sub)
+	putArena(a)
+	return Set{addrs: out}
 }
 
 // SampleBlocks draws k control subsets of size size and returns, for each
@@ -61,21 +36,32 @@ func (s Set) Sample(k int, rng *stats.RNG) Set {
 // across the draws. The result is indexed [n-loBits][draw]. This is the
 // inner loop of the empirical density estimate, shared by Figures 2 and 3.
 //
-// Draws run concurrently: each draw's generator is forked from rng up
-// front (in draw order), so results are deterministic and identical to a
-// sequential evaluation of the same forks.
+// Draws run concurrently on the shared worker pool: each draw's generator
+// is forked from rng up front (in draw order), so results are
+// deterministic and identical to a sequential evaluation of the same
+// forks. Each worker owns a scratch arena and every draw runs the fused
+// sample-sort-count kernel against it, so a steady-state draw performs
+// zero heap allocations.
 func (s Set) SampleBlocks(k, size, loBits, hiBits int, rng *stats.RNG) [][]float64 {
-	out := make([][]float64, hiBits-loBits+1)
+	if loBits < 0 || hiBits > 32 || loBits > hiBits {
+		panic("ipset: invalid prefix range")
+	}
+	prefixes := hiBits - loBits + 1
+	out := make([][]float64, prefixes)
 	for i := range out {
 		out[i] = make([]float64, k)
 	}
-	forEachDraw(k, rng, func(draw int, drawRNG *stats.RNG) {
-		sub := s.Sample(size, drawRNG)
-		counts := sub.BlockCounts(loBits, hiBits)
+	arenas := newArenas(stats.Workers(k), size, prefixes)
+	stats.ForEachDraw(k, rng, func(worker, draw int, drawRNG *stats.RNG) {
+		a := arenas[worker]
+		sub := a.sampleSorted(s.addrs, size, drawRNG)
+		counts := a.counts[:prefixes]
+		blockCountsInto(sub, loBits, hiBits, counts)
 		for i, c := range counts {
 			out[i][draw] = float64(c)
 		}
 	})
+	releaseArenas(arenas)
 	return out
 }
 
@@ -83,46 +69,41 @@ func (s Set) SampleBlocks(k, size, loBits, hiBits int, rng *stats.RNG) [][]float
 // each prefix length in [loBits, hiBits], the distribution of
 // |C_n(subset) ∩ C_n(target)| across draws. This is the control side of the
 // temporal uncleanliness test (Figures 4 and 5). Draws run concurrently
-// under the same deterministic forking scheme as SampleBlocks.
+// under the same deterministic forking scheme — and the same zero-allocation
+// arena kernels — as SampleBlocks.
 func (s Set) SampleIntersections(target Set, k, size, loBits, hiBits int, rng *stats.RNG) [][]float64 {
-	out := make([][]float64, hiBits-loBits+1)
+	if loBits < 0 || hiBits > 32 || loBits > hiBits {
+		panic("ipset: invalid prefix range")
+	}
+	prefixes := hiBits - loBits + 1
+	out := make([][]float64, prefixes)
 	for i := range out {
 		out[i] = make([]float64, k)
 	}
-	forEachDraw(k, rng, func(draw int, drawRNG *stats.RNG) {
-		sub := s.Sample(size, drawRNG)
+	arenas := newArenas(stats.Workers(k), size, prefixes)
+	stats.ForEachDraw(k, rng, func(worker, draw int, drawRNG *stats.RNG) {
+		a := arenas[worker]
+		sub := a.sampleSorted(s.addrs, size, drawRNG)
 		for n := loBits; n <= hiBits; n++ {
-			out[n-loBits][draw] = float64(sub.BlockIntersectCount(target, n))
+			out[n-loBits][draw] = float64(blockIntersectCount(sub, target.addrs, maskFor(n)))
 		}
 	})
+	releaseArenas(arenas)
 	return out
 }
 
-// forEachDraw forks one generator per draw from rng (sequentially, so the
-// fork stream is deterministic), then runs the draws on all CPUs.
-func forEachDraw(k int, rng *stats.RNG, fn func(draw int, rng *stats.RNG)) {
-	rngs := make([]*stats.RNG, k)
-	for i := range rngs {
-		rngs[i] = rng.Fork(uint64(i))
+// newArenas checks out one warmed scratch arena per worker.
+func newArenas(workers, size, prefixes int) []*sampleArena {
+	arenas := make([]*sampleArena, workers)
+	for i := range arenas {
+		arenas[i] = getArena()
+		arenas[i].ensure(size, prefixes)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > k {
-		workers = k
+	return arenas
+}
+
+func releaseArenas(arenas []*sampleArena) {
+	for _, a := range arenas {
+		putArena(a)
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for draw := range next {
-				fn(draw, rngs[draw])
-			}
-		}()
-	}
-	for draw := 0; draw < k; draw++ {
-		next <- draw
-	}
-	close(next)
-	wg.Wait()
 }

@@ -1,6 +1,7 @@
 package ipset
 
 import (
+	"runtime"
 	"testing"
 
 	"unclean/internal/netaddr"
@@ -129,6 +130,128 @@ func TestSampleBlocksDeterministicUnderConcurrency(t *testing.T) {
 		for j := range x[i] {
 			if x[i][j] != y[i][j] {
 				t.Fatalf("intersection distribution differs at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+// referenceSample is the original map/permutation implementation of
+// Set.Sample, kept as the determinism oracle: the arena kernels must
+// consume the identical rng stream and return the identical set. The
+// Floyd branch iterates a Go map, whose order is randomized — the sort in
+// buildSorted is what pins its output, and the tests below rely on that.
+func referenceSample(s Set, k int, rng *stats.RNG) Set {
+	n := s.Len()
+	if k == 0 {
+		return Set{}
+	}
+	if k == n {
+		return s
+	}
+	out := make([]uint32, 0, k)
+	if k <= n/16 {
+		chosen := make(map[int]struct{}, k)
+		for i := n - k; i < n; i++ {
+			j := rng.Intn(i + 1)
+			if _, dup := chosen[j]; dup {
+				j = i
+			}
+			chosen[j] = struct{}{}
+		}
+		for idx := range chosen {
+			out = append(out, uint32(s.At(idx)))
+		}
+	} else {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(n-i)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		for _, i := range idx[:k] {
+			out = append(out, uint32(s.At(i)))
+		}
+	}
+	return FromUint32s(out)
+}
+
+// TestSampleMatchesReference pins both sampler branches against the
+// original implementation: identical sets AND identical rng consumption
+// (checked by comparing the next parent draw).
+func TestSampleMatchesReference(t *testing.T) {
+	s := randomSet(stats.NewRNG(900), 4000)
+	cases := []struct {
+		name string
+		k    int
+	}{
+		{"floyd-tiny", 5},
+		{"floyd", 200},          // 200 <= 4000/16 -> Floyd branch
+		{"floyd-edge", 250},     // boundary: k == n/16 stays on Floyd
+		{"fisher-yates", 251},   // first k past the boundary
+		{"fisher-yates-mid", 2000},
+		{"fisher-yates-big", 3999},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ra, rb := stats.NewRNG(4242), stats.NewRNG(4242)
+			got := s.Sample(tc.k, ra)
+			want := referenceSample(s, tc.k, rb)
+			if !got.Equal(want) {
+				t.Fatalf("k=%d: sample differs from reference implementation", tc.k)
+			}
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("k=%d: rng consumption differs from reference implementation", tc.k)
+			}
+		})
+	}
+}
+
+// TestSampleDeterministicAcrossGOMAXPROCS locks in the concurrency
+// contract: sampling results — including the concurrent draw loops — are
+// identical at GOMAXPROCS=1 and at full parallelism, on both the Floyd
+// and Fisher-Yates branches.
+func TestSampleDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	s := randomSet(stats.NewRNG(901), 4000)
+	target := s.Sample(500, stats.NewRNG(2))
+	type snapshot struct {
+		floyd, fy   Set
+		blocks      [][]float64
+		intersected [][]float64
+	}
+	capture := func() snapshot {
+		return snapshot{
+			floyd:       s.Sample(100, stats.NewRNG(11).Fork(3)),  // 100 <= n/16
+			fy:          s.Sample(1500, stats.NewRNG(11).Fork(3)), // 1500 > n/16
+			blocks:      s.SampleBlocks(64, 600, 16, 28, stats.NewRNG(12)),
+			intersected: s.SampleIntersections(target, 64, 600, 16, 28, stats.NewRNG(13)),
+		}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var base snapshot
+	for i, procs := range []int{1, 2, prev} {
+		runtime.GOMAXPROCS(procs)
+		got := capture()
+		if i == 0 {
+			base = got
+			continue
+		}
+		if !got.floyd.Equal(base.floyd) {
+			t.Fatalf("GOMAXPROCS=%d: Floyd-branch sample differs", procs)
+		}
+		if !got.fy.Equal(base.fy) {
+			t.Fatalf("GOMAXPROCS=%d: Fisher-Yates-branch sample differs", procs)
+		}
+		for r := range base.blocks {
+			for c := range base.blocks[r] {
+				if got.blocks[r][c] != base.blocks[r][c] {
+					t.Fatalf("GOMAXPROCS=%d: SampleBlocks differs at [%d][%d]", procs, r, c)
+				}
+				if got.intersected[r][c] != base.intersected[r][c] {
+					t.Fatalf("GOMAXPROCS=%d: SampleIntersections differs at [%d][%d]", procs, r, c)
+				}
 			}
 		}
 	}

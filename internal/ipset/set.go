@@ -12,7 +12,7 @@ package ipset
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 	"strings"
 
 	"unclean/internal/netaddr"
@@ -42,7 +42,11 @@ func FromUint32s(addrs []uint32) Set {
 }
 
 func buildSorted(c []uint32) Set {
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	if len(c) >= radixCutoff {
+		sortUint32s(c, make([]uint32, len(c)))
+	} else {
+		slices.Sort(c)
+	}
 	c = dedupSorted(c)
 	return Set{addrs: c}
 }
@@ -98,9 +102,8 @@ func (s Set) At(i int) netaddr.Addr { return netaddr.Addr(s.addrs[i]) }
 
 // Contains reports whether a is a member of the set.
 func (s Set) Contains(a netaddr.Addr) bool {
-	u := uint32(a)
-	i := sort.Search(len(s.addrs), func(i int) bool { return s.addrs[i] >= u })
-	return i < len(s.addrs) && s.addrs[i] == u
+	_, found := slices.BinarySearch(s.addrs, uint32(a))
+	return found
 }
 
 // Each calls fn for every address in ascending order; it stops early if fn

@@ -1,0 +1,76 @@
+package ipset
+
+// In-place LSD radix sort for []uint32. The comparison sort previously
+// used by buildSorted (and, transitively, by every control draw) spent
+// nearly all of its time in closure-dispatched compares; byte-wise
+// counting passes sort the same data in a small fixed number of linear
+// sweeps and, given a caller-owned scratch buffer, allocate nothing.
+
+// radixCutoff is the slice length below which insertion sort beats the
+// fixed cost of the counting passes.
+const radixCutoff = 96
+
+// sortUint32s sorts a ascending in place using tmp (len(tmp) >= len(a))
+// as scratch. It performs no allocations. tmp's contents are clobbered.
+func sortUint32s(a, tmp []uint32) {
+	n := len(a)
+	if n < radixCutoff {
+		insertionSortUint32s(a)
+		return
+	}
+	// One sweep builds all four digit histograms.
+	var counts [4][256]int
+	for _, v := range a {
+		counts[0][v&0xff]++
+		counts[1][(v>>8)&0xff]++
+		counts[2][(v>>16)&0xff]++
+		counts[3][v>>24]++
+	}
+	src, dst := a, tmp[:n]
+	for pass := 0; pass < 4; pass++ {
+		c := &counts[pass]
+		// A pass whose digit is constant across the slice is a no-op;
+		// skipping it saves a full scatter sweep (common for clustered
+		// address sets where high bytes barely vary).
+		trivial := false
+		for _, cnt := range c {
+			if cnt == n {
+				trivial = true
+			}
+			if cnt > 0 {
+				break
+			}
+		}
+		if trivial {
+			continue
+		}
+		var offs [256]int
+		off := 0
+		for d := 0; d < 256; d++ {
+			offs[d] = off
+			off += c[d]
+		}
+		shift := uint(pass * 8)
+		for _, v := range src {
+			d := (v >> shift) & 0xff
+			dst[offs[d]] = v
+			offs[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+func insertionSortUint32s(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,52 @@
+package ipset
+
+import (
+	"slices"
+	"testing"
+
+	"unclean/internal/stats"
+)
+
+func TestSortUint32sMatchesSlicesSort(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	sizes := []int{0, 1, 2, 3, radixCutoff - 1, radixCutoff, radixCutoff + 1, 1000, 65537}
+	for _, n := range sizes {
+		a := make([]uint32, n)
+		for i := range a {
+			a[i] = rng.Uint32()
+		}
+		want := slices.Clone(a)
+		slices.Sort(want)
+		tmp := make([]uint32, n)
+		sortUint32s(a, tmp)
+		if !slices.Equal(a, want) {
+			t.Fatalf("n=%d: radix sort disagrees with slices.Sort", n)
+		}
+	}
+}
+
+func TestSortUint32sDegenerateInputs(t *testing.T) {
+	rng := stats.NewRNG(5678)
+	const n = 4096
+	cases := map[string]func(i int) uint32{
+		"already-sorted": func(i int) uint32 { return uint32(i) },
+		"reverse-sorted": func(i int) uint32 { return uint32(n - i) },
+		"all-equal":      func(i int) uint32 { return 0xc0a80001 },
+		"dense-dupes":    func(i int) uint32 { return rng.Uint32() & 0xff },
+		// Clustered addresses exercise the trivial-pass skip: every value
+		// shares the top two bytes.
+		"one-slash16": func(i int) uint32 { return 0x0a0b0000 | rng.Uint32()&0xffff },
+	}
+	for name, gen := range cases {
+		a := make([]uint32, n)
+		for i := range a {
+			a[i] = gen(i)
+		}
+		want := slices.Clone(a)
+		slices.Sort(want)
+		sortUint32s(a, make([]uint32, n))
+		if !slices.Equal(a, want) {
+			t.Fatalf("%s: radix sort disagrees with slices.Sort", name)
+		}
+	}
+}

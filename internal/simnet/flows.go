@@ -1,9 +1,7 @@
 package simnet
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"unclean/internal/ipset"
@@ -45,18 +43,9 @@ func (w *World) SynthesizeFlows(from, to time.Time, opts FlowOptions) []netflow.
 		return nil
 	}
 	perDay := make([][]netflow.Record, hi-lo+1)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for d := lo; d <= hi; d++ {
-		wg.Add(1)
-		go func(d int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			perDay[d-lo] = w.synthesizeDay(d, opts, nil)
-		}(d)
-	}
-	wg.Wait()
+	stats.Parallel(hi-lo+1, func(_, i int) {
+		perDay[i] = w.synthesizeDay(lo+i, opts, nil)
+	})
 	total := 0
 	for _, day := range perDay {
 		total += len(day)

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the package-level shared worker pool used by every
+// data-parallel loop in the system (control draws in ipset, day synthesis
+// in simnet, day detection in experiments, flow scoring in blocklist).
+//
+// The pool is bounded globally: across all concurrent Parallel calls at
+// most NumCPU helper goroutines are working at once. The calling
+// goroutine always participates as worker 0, so a Parallel call makes
+// progress even when every helper token is taken — which also makes
+// nested Parallel calls deadlock-free (an inner call that finds the pool
+// exhausted simply degrades to a sequential loop on its own goroutine).
+//
+// Determinism contract: Parallel writes nothing itself; callers must make
+// fn(worker, i) depend only on i (plus per-worker scratch that carries no
+// state between iterations), never on scheduling order. ForEachDraw
+// layers the RNG side of that contract on top: one generator is forked
+// per draw up front, in draw order, so the stream each draw sees is
+// identical to a sequential evaluation of the same forks regardless of
+// GOMAXPROCS or which worker runs it.
+
+// helperTokens bounds the helper goroutines shared by all Parallel calls.
+var helperTokens = make(chan struct{}, runtime.NumCPU())
+
+// Workers returns the number of workers Parallel(n, fn) will use: at
+// least 1 (the caller) and at most min(GOMAXPROCS, n). Callers that keep
+// per-worker scratch should size it with this and index it by the worker
+// argument of fn, which is always in [0, Workers(n)).
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Parallel runs fn(worker, i) for every i in [0, n), distributing
+// iterations dynamically over the shared pool. The caller's goroutine is
+// worker 0; each helper gets a distinct worker id, so fn may freely use
+// per-worker scratch indexed by worker. Parallel returns after every
+// iteration has completed.
+func Parallel(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func(worker int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(worker, i)
+		}
+	}
+	var wg sync.WaitGroup
+	helpers := 0
+acquire:
+	for helpers < w-1 {
+		select {
+		case helperTokens <- struct{}{}:
+			helpers++
+			worker := helpers
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-helperTokens
+					wg.Done()
+				}()
+				run(worker)
+			}()
+		default:
+			// Pool exhausted (concurrent or nested Parallel calls hold
+			// the tokens): proceed with the workers we have.
+			break acquire
+		}
+	}
+	run(0)
+	wg.Wait()
+}
+
+// ForEachDraw runs fn once per draw in [0, k) on the shared pool, handing
+// each draw its own generator forked from rng. Forks happen sequentially
+// in draw order before any work starts, so the result of a computation
+// that consumes only drawRNG per draw is identical to a sequential run —
+// concurrency and GOMAXPROCS never change the output. The worker argument
+// identifies the executing worker (see Parallel) for scratch reuse.
+func ForEachDraw(k int, rng *RNG, fn func(worker, draw int, drawRNG *RNG)) {
+	if k <= 0 {
+		return
+	}
+	// Fork by value into one backing array: a single allocation for the
+	// whole batch rather than one per draw.
+	rngs := make([]RNG, k)
+	for i := range rngs {
+		rngs[i] = RNG{state: rng.forkSeed(uint64(i))}
+	}
+	Parallel(k, func(worker, draw int) {
+		fn(worker, draw, &rngs[draw])
+	})
+}

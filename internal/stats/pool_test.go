@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 10000} {
+		seen := make([]int32, n)
+		Parallel(n, func(_, i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d executed %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelWorkerIDsInRange(t *testing.T) {
+	const n = 5000
+	w := Workers(n)
+	var bad atomic.Int32
+	hits := make([]atomic.Int64, w)
+	Parallel(n, func(worker, i int) {
+		if worker < 0 || worker >= w {
+			bad.Add(1)
+			return
+		}
+		hits[worker].Add(1)
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d iterations saw a worker id outside [0,%d)", bad.Load(), w)
+	}
+	var total int64
+	for i := range hits {
+		total += hits[i].Load()
+	}
+	if total != n {
+		t.Fatalf("worker hit total %d, want %d", total, n)
+	}
+}
+
+// TestParallelNested exercises pool exhaustion: inner Parallel calls run
+// while the outer call holds helper tokens. The caller-participates
+// design must complete every iteration without deadlock.
+func TestParallelNested(t *testing.T) {
+	const outer, inner = 32, 64
+	var count atomic.Int64
+	Parallel(outer, func(_, _ int) {
+		Parallel(inner, func(_, _ int) {
+			count.Add(1)
+		})
+	})
+	if got := count.Load(); got != outer*inner {
+		t.Fatalf("nested iterations = %d, want %d", got, outer*inner)
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d, want 1", w)
+	}
+	max := runtime.GOMAXPROCS(0)
+	if w := Workers(1 << 30); w != max {
+		t.Errorf("Workers(big) = %d, want GOMAXPROCS=%d", w, max)
+	}
+}
+
+// TestForEachDrawMatchesSequentialForks pins the determinism contract:
+// the generator handed to draw i is the i-th sequential fork of rng, no
+// matter how draws are scheduled.
+func TestForEachDrawMatchesSequentialForks(t *testing.T) {
+	const k = 500
+	ref := NewRNG(99)
+	want := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		want[i] = ref.Fork(uint64(i)).Uint64()
+	}
+	got := make([]uint64, k)
+	ForEachDraw(k, NewRNG(99), func(_, draw int, drawRNG *RNG) {
+		got[draw] = drawRNG.Uint64()
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: stream %x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestForEachDrawConsumesSameParentStream verifies ForEachDraw advances
+// the parent generator exactly as k sequential Fork calls would, so code
+// after a draw loop sees an unchanged stream.
+func TestForEachDrawConsumesSameParentStream(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 10; i++ {
+		a.Fork(uint64(i))
+	}
+	ForEachDraw(10, b, func(_, _ int, _ *RNG) {})
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("parent stream diverged after ForEachDraw")
+	}
+}

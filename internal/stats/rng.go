@@ -27,7 +27,13 @@ func NewRNG(seed uint64) *RNG {
 // advances once, and the child is seeded from a hash of that draw and the
 // label, so identical labels at different points still diverge.
 func (r *RNG) Fork(label uint64) *RNG {
-	return NewRNG(mix64(r.Uint64() ^ mix64(label)))
+	return NewRNG(r.forkSeed(label))
+}
+
+// forkSeed derives the child seed of Fork without allocating, so batch
+// forking (stats.ForEachDraw) can fork by value into one backing array.
+func (r *RNG) forkSeed(label uint64) uint64 {
+	return mix64(r.Uint64() ^ mix64(label))
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
