@@ -2,9 +2,20 @@
 // the DNSBL convention (query d.c.b.a.<zone>, get 127.0.0.x if listed) —
 // the operational delivery mechanism the paper's §2 cites (Spamhaus ZEN).
 //
-// The list is generated from a simulated world's reports via the
-// multidimensional scorer, then served until interrupted. Query it with
-// any DNS client, e.g.:
+// Two list sources are supported: a simulated world (the default, as in
+// the experiments) or a directory of *.report files ingested through the
+// time-decaying tracker (-reports). With -reload the report directory is
+// re-ingested periodically; ingestion failures are retried with backoff,
+// then a circuit breaker stops hammering the broken feed while the
+// daemon keeps serving its last-good list. With -checkpoint the tracker
+// state is checkpointed crash-safely (temp → fsync → rename, CRC32
+// trailer, one .prev generation) on every reload, periodically, and at
+// shutdown — and recovered at startup, so a dead feed plus a restart
+// still yields a serving daemon.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the server drains queries
+// already accepted, a final checkpoint is written, and the serving
+// counters are printed.
 //
 //	dnsbld -listen 127.0.0.1:5354 -scale 500 &
 //	dig @127.0.0.1 -p 5354 2.1.1.10.bl.unclean.example A
@@ -13,13 +24,18 @@
 //
 //	dnsbld [-listen ADDR] [-zone bl.unclean.example] [-threshold 0.6]
 //	       [-scale N] [-seed N] [-selfcheck N]
+//	       [-reports DIR] [-reload DUR] [-checkpoint PATH]
+//	       [-checkpoint-every DUR] [-halflife DUR] [-workers N] [-queue N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"unclean/internal/blocklist"
@@ -27,106 +43,293 @@ import (
 	"unclean/internal/dnsbl"
 	"unclean/internal/experiments"
 	"unclean/internal/netaddr"
+	"unclean/internal/report"
+	"unclean/internal/retry"
+	"unclean/internal/tracker"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dnsbld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("dnsbld", flag.ContinueOnError)
-	listen := fs.String("listen", "127.0.0.1:5354", "UDP listen address")
-	zone := fs.String("zone", "bl.unclean.example", "DNSBL zone")
-	threshold := fs.Float64("threshold", 0.6, "aggregate score threshold for listing")
-	scaleDen := fs.Float64("scale", 500, "scale denominator for the generated world")
-	seed := fs.Uint64("seed", 20061001, "world seed")
-	selfcheck := fs.Int("selfcheck", 3, "after startup, query this many listed blocks and exit (0 = serve forever)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *scaleDen < 1 {
-		return fmt.Errorf("-scale must be >= 1")
-	}
+type options struct {
+	listen, zone    string
+	threshold       float64
+	scaleDen        float64
+	seed            uint64
+	selfcheck       int
+	reports         string
+	reload          time.Duration
+	checkpoint      string
+	checkpointEvery time.Duration
+	halfLife        time.Duration
+	workers, queue  int
+}
 
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("dnsbld", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:5354", "UDP listen address")
+	fs.StringVar(&o.zone, "zone", "bl.unclean.example", "DNSBL zone")
+	fs.Float64Var(&o.threshold, "threshold", 0.6, "aggregate score threshold for listing")
+	fs.Float64Var(&o.scaleDen, "scale", 500, "scale denominator for the generated world")
+	fs.Uint64Var(&o.seed, "seed", 20061001, "world seed")
+	fs.IntVar(&o.selfcheck, "selfcheck", 3, "after startup, query this many listed blocks and exit (0 = serve forever)")
+	fs.StringVar(&o.reports, "reports", "", "serve from this directory of *.report files instead of a generated world")
+	fs.DurationVar(&o.reload, "reload", 0, "re-ingest -reports at this interval (0 disables)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "crash-safe tracker checkpoint path (loaded at startup if present)")
+	fs.DurationVar(&o.checkpointEvery, "checkpoint-every", 5*time.Minute, "periodic checkpoint interval")
+	fs.DurationVar(&o.halfLife, "halflife", 42*24*time.Hour, "tracker evidence half-life")
+	fs.IntVar(&o.workers, "workers", 0, "server worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&o.queue, "queue", 0, "server packet queue length (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.scaleDen < 1 {
+		return nil, fmt.Errorf("-scale must be >= 1")
+	}
+	if o.threshold < 0 || o.threshold > 1 {
+		return nil, fmt.Errorf("-threshold must be in [0, 1]")
+	}
+	return o, nil
+}
+
+// feedPolicy is the per-ingestion retry schedule.
+func feedPolicy() retry.Policy {
+	return retry.Policy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond,
+		MaxDelay: 2 * time.Second, Jitter: 1}
+}
+
+// dimForClass maps a report class to its tracker dimension.
+func dimForClass(c report.Class) (core.Dimension, bool) {
+	switch c {
+	case report.ClassBots:
+		return core.DimBot, true
+	case report.ClassScanning:
+		return core.DimScan, true
+	case report.ClassSpamming:
+		return core.DimSpam, true
+	case report.ClassPhishing:
+		return core.DimPhish, true
+	}
+	return 0, false
+}
+
+// trackerFromInventory folds a report inventory into a fresh tracker,
+// dating each report's evidence at the end of its validity window.
+func trackerFromInventory(inv *report.Inventory, halfLife time.Duration) (*tracker.Tracker, error) {
+	tr, err := tracker.New(tracker.Config{Bits: 24, HalfLife: halfLife, Tau: 4})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range inv.Reports {
+		dim, ok := dimForClass(r.Class)
+		if !ok {
+			continue // special/unclassed reports carry no dimension
+		}
+		if err := tr.Observe(dim, r.Addrs, r.ValidTo); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// trackerFromWorld generates the simulated world and folds its four
+// ground-truth reports into a tracker.
+func trackerFromWorld(o *options) (*tracker.Tracker, error) {
 	cfg := experiments.Default()
-	cfg.Scale = 1 / *scaleDen
-	cfg.Seed = *seed
+	cfg.Scale = 1 / o.scaleDen
+	cfg.Seed = o.seed
 	cfg.Draws = 1 // no estimates needed; only reports
-	fmt.Fprintf(os.Stderr, "generating world at scale 1/%.0f...\n", *scaleDen)
+	fmt.Fprintf(os.Stderr, "generating world at scale 1/%.0f...\n", o.scaleDen)
 	ds, err := experiments.Build(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-
-	scorer, err := core.NewScorer(24, 4)
-	if err != nil {
-		return err
+	inv := &report.Inventory{}
+	for _, tag := range []string{"bot", "scan", "spam", "phish"} {
+		inv.Add(ds.Report(tag))
 	}
-	scorer.AddReport(core.DimBot, ds.Report("bot").Addrs, 1)
-	scorer.AddReport(core.DimScan, ds.Report("scan").Addrs, 1)
-	scorer.AddReport(core.DimSpam, ds.Report("spam").Addrs, 1)
-	scorer.AddReport(core.DimPhish, ds.Report("phish").Addrs, 1)
+	return trackerFromInventory(inv, o.halfLife)
+}
 
-	// Compile per-dimension reasons so queriers see why a block listed.
+// listFromTracker compiles the blocklist the tracker's scores imply,
+// each rule annotated with its dominant dimension.
+func listFromTracker(tr *tracker.Tracker, threshold float64) *blocklist.Trie {
 	list := &blocklist.Trie{}
-	for _, sb := range scorer.Rank(scorer.BlockCount()) {
-		if sb.Score.Aggregate < *threshold {
-			break
-		}
+	for _, b := range tr.Blocklist(threshold).Blocks(24) {
+		sc := tr.Score(b.Base())
 		reason := "unclean"
 		best := 0.0
 		for d := core.DimBot; d <= core.DimPhish; d++ {
-			if v := sb.Score.ByDim[d]; v > best {
+			if v := sc.ByDim[d]; v > best {
 				best = v
 				reason = d.String()
 			}
 		}
-		list.Insert(sb.Block, reason)
+		list.Insert(b, reason)
 	}
-	fmt.Printf("serving %d listed /24s in zone %s on %s (threshold %.2f)\n",
-		list.Len(), *zone, *listen, *threshold)
+	return list
+}
 
-	conn, err := net.ListenPacket("udp", *listen)
+// ingest loads the report directory (with retries) and compiles the
+// tracker; used for both the initial load and every reload.
+func ingest(ctx context.Context, o *options) (*tracker.Tracker, error) {
+	inv, err := report.LoadDirRetry(ctx, feedPolicy(), o.reports)
+	if err != nil {
+		return nil, err
+	}
+	return trackerFromInventory(inv, o.halfLife)
+}
+
+// saveCheckpoint persists the tracker if checkpointing is configured;
+// failures are reported but never fatal — serving beats checkpointing.
+func saveCheckpoint(o *options, tr *tracker.Tracker) {
+	if o.checkpoint == "" || tr == nil {
+		return
+	}
+	if err := tr.SaveFile(o.checkpoint); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsbld: checkpoint:", err)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	// Build the initial tracker: reports directory if given, else the
+	// generated world. A dead feed at startup degrades to the last
+	// checkpoint instead of refusing to start.
+	var tr *tracker.Tracker
+	if o.reports != "" {
+		tr, err = ingest(ctx, o)
+		if err != nil && o.checkpoint != "" {
+			if rec, rerr := tracker.LoadFile(o.checkpoint); rerr == nil {
+				fmt.Fprintf(os.Stderr, "dnsbld: feed ingest failed (%v); recovered %d blocks from checkpoint\n",
+					err, rec.BlockCount())
+				tr, err = rec, nil
+			}
+		}
+	} else {
+		tr, err = trackerFromWorld(o)
+	}
+	if err != nil {
+		return err
+	}
+	saveCheckpoint(o, tr)
+
+	list := listFromTracker(tr, o.threshold)
+	fmt.Printf("serving %d listed /24s in zone %s on %s (threshold %.2f)\n",
+		list.Len(), o.zone, o.listen, o.threshold)
+
+	conn, err := net.ListenPacket("udp", o.listen)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	srv, err := dnsbl.NewServer(*zone, list, 5*time.Minute)
+	srv, err := dnsbl.NewServer(o.zone, list, 5*time.Minute)
 	if err != nil {
 		return err
 	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(conn) }()
+	srv.SetConcurrency(o.workers, o.queue)
 
-	if *selfcheck > 0 {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(sctx, conn) }()
+
+	if o.selfcheck > 0 {
 		// Demonstration mode: query a few listed blocks through the real
 		// UDP path and exit.
-		time.Sleep(50 * time.Millisecond)
-		checked := 0
-		var firstErr error
-		list.Walk(func(e blocklist.Entry) bool {
-			if checked >= *selfcheck {
-				return false
-			}
-			probe := e.Block.Base() + netaddr.Addr(9)
-			listed, code, err := dnsbl.Lookup(conn.LocalAddr().String(), *zone, probe, 2*time.Second)
-			if err != nil {
-				firstErr = err
-				return false
-			}
-			fmt.Printf("selfcheck: %s -> listed=%v code=%s (%s)\n", probe, listed, code, e.Reason)
-			checked++
-			return true
-		})
-		if firstErr != nil {
-			return firstErr
-		}
-		queries, hits := srv.Stats()
-		fmt.Printf("selfcheck complete: %d queries served, %d listed\n", queries, hits)
-		return nil
+		err := selfcheck(conn.LocalAddr().String(), o, srv, list)
+		cancel()
+		<-serveErr // graceful drain before the socket closes
+		return err
 	}
-	return <-serveErr
+
+	// Serving mode: reload the feed, checkpoint the tracker, and wait
+	// for shutdown. The breaker stops retry storms against a feed that
+	// stays broken across reloads.
+	var reloadC, ckptC <-chan time.Time
+	if o.reports != "" && o.reload > 0 {
+		tick := time.NewTicker(o.reload)
+		defer tick.Stop()
+		reloadC = tick.C
+	}
+	if o.checkpoint != "" && o.checkpointEvery > 0 {
+		tick := time.NewTicker(o.checkpointEvery)
+		defer tick.Stop()
+		ckptC = tick.C
+	}
+	breaker := retry.NewBreaker(3, 10*o.reload)
+
+	for {
+		select {
+		case <-ctx.Done():
+			// Graceful shutdown: Serve drains accepted queries, then a
+			// final checkpoint records everything observed.
+			<-serveErr
+			saveCheckpoint(o, tr)
+			st := srv.Counters()
+			fmt.Printf("shutdown: %d queries (%d listed, %d malformed, %d dropped, %d shed)\n",
+				st.Queries, st.Hits, st.Malformed, st.Dropped, st.Shed)
+			return nil
+		case err := <-serveErr:
+			saveCheckpoint(o, tr)
+			return err // the socket died underneath us
+		case <-reloadC:
+			if !breaker.Allow() {
+				fmt.Fprintln(os.Stderr, "dnsbld: feed breaker open; serving last-good list")
+				continue
+			}
+			fresh, err := ingest(ctx, o)
+			breaker.Record(err)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dnsbld: reload failed (serving last-good list):", err)
+				continue
+			}
+			tr = fresh
+			list = listFromTracker(tr, o.threshold)
+			srv.SetList(list)
+			saveCheckpoint(o, tr)
+			fmt.Fprintf(os.Stderr, "dnsbld: reloaded %d blocks, serving %d rules\n",
+				tr.BlockCount(), list.Len())
+		case <-ckptC:
+			saveCheckpoint(o, tr)
+		}
+	}
+}
+
+// selfcheck queries a few listed blocks through the real UDP path.
+func selfcheck(addr string, o *options, srv *dnsbl.Server, list *blocklist.Trie) error {
+	time.Sleep(50 * time.Millisecond)
+	checked := 0
+	var firstErr error
+	list.Walk(func(e blocklist.Entry) bool {
+		if checked >= o.selfcheck {
+			return false
+		}
+		probe := e.Block.Base() + netaddr.Addr(9)
+		listed, code, err := dnsbl.Lookup(addr, o.zone, probe, 2*time.Second)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		fmt.Printf("selfcheck: %s -> listed=%v code=%s (%s)\n", probe, listed, code, e.Reason)
+		checked++
+		return true
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	queries, hits := srv.Stats()
+	fmt.Printf("selfcheck complete: %d queries served, %d listed\n", queries, hits)
+	return nil
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"unclean/internal/ipset"
+	"unclean/internal/report"
+	"unclean/internal/tracker"
+)
+
+// writeReports drops a small inventory into dir: eight bot addresses in
+// 10.1.1.0/24 (dimension score 1-e^-2 ≈ 0.86) plus a handful of spam
+// addresses in 10.2.2.0/24.
+func writeReports(t *testing.T, dir string) {
+	t.Helper()
+	inv := &report.Inventory{}
+	inv.Add(report.New("bot", report.Observed, report.ClassBots,
+		"2006-10-01", "2006-10-14", "darknet",
+		ipset.MustParse("10.1.1.1 10.1.1.2 10.1.1.3 10.1.1.4 10.1.1.5 10.1.1.6 10.1.1.7 10.1.1.8")))
+	inv.Add(report.New("spam", report.Observed, report.ClassSpamming,
+		"2006-10-01", "2006-10-14", "trap",
+		ipset.MustParse("10.2.2.1 10.2.2.2 10.2.2.3 10.2.2.4 10.2.2.5 10.2.2.6 10.2.2.7 10.2.2.8")))
+	if err := inv.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsModeSelfcheck(t *testing.T) {
+	dir := t.TempDir()
+	writeReports(t, dir)
+	ckpt := filepath.Join(t.TempDir(), "tracker.ckpt")
+	err := run(context.Background(), []string{
+		"-listen", "127.0.0.1:0", "-reports", dir, "-checkpoint", ckpt,
+		"-threshold", "0.5", "-selfcheck", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run must have left a loadable checkpoint behind.
+	tr, err := tracker.LoadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.BlockCount() != 2 {
+		t.Fatalf("checkpoint has %d blocks, want 2", tr.BlockCount())
+	}
+}
+
+// A dead feed at startup must degrade to the last checkpoint instead of
+// refusing to start.
+func TestRunRecoversFromCheckpoint(t *testing.T) {
+	good := t.TempDir()
+	writeReports(t, good)
+	ckpt := filepath.Join(t.TempDir(), "tracker.ckpt")
+	if err := run(context.Background(), []string{
+		"-listen", "127.0.0.1:0", "-reports", good, "-checkpoint", ckpt,
+		"-threshold", "0.5", "-selfcheck", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same daemon, but the feed directory is now garbage.
+	dead := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dead, "junk"+report.Ext), []byte("not a report"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{
+		"-listen", "127.0.0.1:0", "-reports", dead, "-checkpoint", ckpt,
+		"-threshold", "0.5", "-selfcheck", "1",
+	}); err != nil {
+		t.Fatalf("run with dead feed + checkpoint: %v", err)
+	}
+
+	// Without the checkpoint the same dead feed is fatal.
+	if err := run(context.Background(), []string{
+		"-listen", "127.0.0.1:0", "-reports", dead,
+		"-threshold", "0.5", "-selfcheck", "1",
+	}); err == nil {
+		t.Fatal("dead feed with no checkpoint accepted")
+	}
+}
+
+// In serving mode a context cancellation (the signal path) must shut
+// down gracefully: run returns nil and a final checkpoint is written.
+func TestRunGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	writeReports(t, dir)
+	ckpt := filepath.Join(t.TempDir(), "tracker.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-reports", dir, "-checkpoint", ckpt,
+			"-threshold", "0.5", "-selfcheck", "0", "-reload", "10m",
+		})
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down after cancel")
+	}
+	if _, err := tracker.LoadFile(ckpt); err != nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	if _, err := parseFlags([]string{"-scale", "0"}); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := parseFlags([]string{"-threshold", "1.5"}); err == nil {
+		t.Error("threshold 1.5 accepted")
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -50,7 +51,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv.Serve(conn) //nolint:errcheck // returns on close
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx, conn) //nolint:errcheck // returns on close
 	fmt.Printf("DNSBL %s serving %d aggregated rules on %s\n", zone, list.Len(), conn.LocalAddr())
 
 	// The gateway: every distinct SMTP sender in the traffic gets one

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"strings"
+	"sync"
 
 	"unclean/internal/ipset"
 	"unclean/internal/netaddr"
@@ -21,8 +22,13 @@ import (
 //
 // Addresses inside reserved space are discarded (cloaked or spoofed
 // hostmasks frequently decode to garbage).
+//
+// A Monitor is safe for concurrent use: WatchChannel feeds it from a
+// connection goroutine while callers poll the harvested sets.
 type Monitor struct {
-	channel   string
+	channel string
+
+	mu        sync.Mutex
 	hostAddrs *ipset.Builder
 	bodyAddrs *ipset.Builder
 	commands  []Command
@@ -55,17 +61,25 @@ func NewMonitor(channel string) *Monitor {
 
 // ObserveLine feeds one raw IRC line into the monitor.
 func (m *Monitor) ObserveLine(line string) {
-	m.lines++
 	msg, err := ParseMessage(line)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lines++
 	if err != nil {
 		m.malformed++
 		return
 	}
-	m.Observe(msg)
+	m.observe(msg)
 }
 
 // Observe feeds one parsed message into the monitor.
 func (m *Monitor) Observe(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observe(msg)
+}
+
+func (m *Monitor) observe(msg Message) {
 	switch msg.Command {
 	case "JOIN":
 		// JOIN's channel may be a middle param or the trailing.
@@ -108,6 +122,8 @@ func (m *Monitor) Observe(msg Message) {
 
 // Commands returns the C&C instructions observed so far, in order.
 func (m *Monitor) Commands() []Command {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]Command, len(m.commands))
 	copy(out, m.commands)
 	return out
@@ -156,17 +172,29 @@ func (m *Monitor) Run(r io.Reader) error {
 
 // BotAddrs returns the addresses harvested from hostmasks: hosts directly
 // observed communicating with the C&C.
-func (m *Monitor) BotAddrs() ipset.Set { return snapshot(m.hostAddrs) }
+func (m *Monitor) BotAddrs() ipset.Set {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return snapshot(m.hostAddrs)
+}
 
 // ReportedAddrs returns the addresses harvested from message bodies:
 // hosts the bots claim to have compromised or probed.
-func (m *Monitor) ReportedAddrs() ipset.Set { return snapshot(m.bodyAddrs) }
+func (m *Monitor) ReportedAddrs() ipset.Set {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return snapshot(m.bodyAddrs)
+}
 
 // All returns the union of both harvests.
 func (m *Monitor) All() ipset.Set { return m.BotAddrs().Union(m.ReportedAddrs()) }
 
 // Stats reports lines consumed and lines that failed to parse.
-func (m *Monitor) Stats() (lines, malformed int) { return m.lines, m.malformed }
+func (m *Monitor) Stats() (lines, malformed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lines, m.malformed
+}
 
 // snapshot builds the current set without consuming the builder.
 func snapshot(b *ipset.Builder) ipset.Set {

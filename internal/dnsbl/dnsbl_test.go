@@ -1,6 +1,7 @@
 package dnsbl
 
 import (
+	"context"
 	"net"
 	"testing"
 	"testing/quick"
@@ -145,8 +146,17 @@ func startDNSBL(t *testing.T, list *blocklist.Trie) (addr string, srv *Server, s
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(conn) //nolint:errcheck // returns on close
-	return conn.LocalAddr().String(), srv, func() { conn.Close() }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, conn) //nolint:errcheck // returns on close
+	}()
+	return conn.LocalAddr().String(), srv, func() {
+		cancel()
+		<-done
+		conn.Close()
+	}
 }
 
 func TestEndToEndLookup(t *testing.T) {

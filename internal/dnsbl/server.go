@@ -1,11 +1,14 @@
 package dnsbl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unclean/internal/blocklist"
@@ -16,17 +19,56 @@ import (
 // rule's Reason selects the return code: reasons containing "bot",
 // "scan", "spam" or "phish" map to the corresponding 127.0.0.x code,
 // anything else to the generic code.
+//
+// The serving path is built for hostile conditions: a bounded worker
+// pool with explicit load shedding (saturation drops packets and counts
+// them instead of blocking the reader), per-request panic recovery (one
+// poisoned packet cannot take the daemon down), and context-based
+// graceful shutdown that drains queued work before returning. The hot
+// path is lock-free: counters are atomics and the blocklist hangs off an
+// atomic pointer, so live reloads never contend with queries.
 type Server struct {
 	zone string
 	ttl  uint32
 
-	mu   sync.RWMutex
-	list *blocklist.Trie
+	list atomic.Pointer[blocklist.Trie]
 
-	queries, listedHits int
+	workers  int
+	queueLen int
+
+	queries   atomic.Uint64 // well-formed queries handled
+	hits      atomic.Uint64 // queries that matched a listing
+	malformed atomic.Uint64 // undecodable or non-query packets
+	dropped   atomic.Uint64 // responses lost to write errors or panics
+	shed      atomic.Uint64 // packets dropped because the queue was full
+
+	// handleHook, when set, runs inside each worker just before the
+	// packet is handled — the seam chaos tests use to inject latency and
+	// panics into the request path.
+	handleHook func()
+
+	bufs sync.Pool
 }
 
-// NewServer builds a server for zone backed by list.
+// ServerStats is a snapshot of the serving counters.
+type ServerStats struct {
+	// Queries counts well-formed queries handled (including NXDomain
+	// answers); Hits counts those that matched a listing.
+	Queries, Hits uint64
+	// Malformed counts packets that did not decode to a single-question
+	// query; they are dropped silently, as real servers do.
+	Malformed uint64
+	// Dropped counts responses lost after handling: write failures and
+	// recovered per-request panics.
+	Dropped uint64
+	// Shed counts packets discarded unhandled because the worker queue
+	// was full — the overload valve.
+	Shed uint64
+}
+
+// NewServer builds a server for zone backed by list. The worker pool
+// defaults to GOMAXPROCS workers over a 1024-packet queue; tune with
+// SetConcurrency before calling Serve.
 func NewServer(zone string, list *blocklist.Trie, ttl time.Duration) (*Server, error) {
 	if zone == "" {
 		return nil, fmt.Errorf("dnsbl: empty zone")
@@ -37,41 +79,153 @@ func NewServer(zone string, list *blocklist.Trie, ttl time.Duration) (*Server, e
 	if ttl < time.Second {
 		return nil, fmt.Errorf("dnsbl: TTL below one second")
 	}
-	return &Server{zone: strings.TrimSuffix(zone, "."), ttl: uint32(ttl / time.Second), list: list}, nil
+	s := &Server{
+		zone:     strings.TrimSuffix(zone, "."),
+		ttl:      uint32(ttl / time.Second),
+		workers:  runtime.GOMAXPROCS(0),
+		queueLen: 1024,
+	}
+	s.list.Store(list)
+	s.bufs.New = func() any { b := make([]byte, maxMessage); return &b }
+	return s, nil
 }
 
-// SetList atomically replaces the served blocklist (live reload).
-func (s *Server) SetList(list *blocklist.Trie) {
-	s.mu.Lock()
-	s.list = list
-	s.mu.Unlock()
+// SetConcurrency sizes the worker pool and its queue; it must be called
+// before Serve. Values below 1 keep the current setting.
+func (s *Server) SetConcurrency(workers, queue int) {
+	if workers >= 1 {
+		s.workers = workers
+	}
+	if queue >= 1 {
+		s.queueLen = queue
+	}
 }
+
+// SetList atomically replaces the served blocklist (live reload). It is
+// safe to call while Serve is running; in-flight queries finish against
+// whichever list they started with.
+func (s *Server) SetList(list *blocklist.Trie) {
+	if list != nil {
+		s.list.Store(list)
+	}
+}
+
+// List returns the currently served blocklist.
+func (s *Server) List() *blocklist.Trie { return s.list.Load() }
 
 // Stats returns how many queries were served and how many hit a listing.
 func (s *Server) Stats() (queries, listed int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.queries, s.listedHits
+	return int(s.queries.Load()), int(s.hits.Load())
 }
 
-// Serve answers queries on conn until the connection is closed.
-func (s *Server) Serve(conn net.PacketConn) error {
-	buf := make([]byte, maxMessage)
-	for {
-		n, peer, err := conn.ReadFrom(buf)
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
+// Counters returns a snapshot of all serving counters.
+func (s *Server) Counters() ServerStats {
+	return ServerStats{
+		Queries:   s.queries.Load(),
+		Hits:      s.hits.Load(),
+		Malformed: s.malformed.Load(),
+		Dropped:   s.dropped.Load(),
+		Shed:      s.shed.Load(),
+	}
+}
+
+// packet is one received datagram handed from the reader to a worker.
+// data aliases a pooled buffer returned to the pool after handling.
+type packet struct {
+	data *[]byte
+	n    int
+	peer net.Addr
+}
+
+// Serve answers queries on conn until the connection is closed or ctx is
+// canceled. On cancellation it stops reading, drains every packet
+// already queued (workers finish their responses), and returns nil — a
+// graceful shutdown. Closing conn without canceling also returns nil.
+func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
+	queue := make(chan packet, s.queueLen)
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkt := range queue {
+				s.serveOne(conn, pkt)
 			}
-			return err
+		}()
+	}
+
+	// The unblocker: on cancellation, poke the reader out of a blocking
+	// ReadFrom by moving the read deadline into the past.
+	stopUnblock := make(chan struct{})
+	var unblockWG sync.WaitGroup
+	unblockWG.Add(1)
+	go func() {
+		defer unblockWG.Done()
+		select {
+		case <-ctx.Done():
+			conn.SetReadDeadline(time.Unix(0, 1)) //nolint:errcheck // best effort
+		case <-stopUnblock:
 		}
-		resp := s.handle(buf[:n])
-		if resp == nil {
-			continue // unparseable: drop, as real servers do
+	}()
+
+	var readErr error
+	for {
+		if ctx.Err() != nil {
+			break
 		}
-		if _, err := conn.WriteTo(resp, peer); err != nil && !errors.Is(err, net.ErrClosed) {
-			return err
+		bp := s.bufs.Get().(*[]byte)
+		n, peer, err := conn.ReadFrom(*bp)
+		if err != nil {
+			s.bufs.Put(bp)
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				break
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue // transient: a deadline someone else set, or injected
+			}
+			readErr = err
+			break
 		}
+		select {
+		case queue <- packet{data: bp, n: n, peer: peer}:
+		default:
+			// Saturated: shed the packet rather than block the reader —
+			// under overload a DNSBL must keep reading (and mostly
+			// dropping) so legitimate traffic still has a chance.
+			s.shed.Add(1)
+			s.bufs.Put(bp)
+		}
+	}
+
+	close(queue) // workers drain what was accepted, then exit
+	wg.Wait()
+	close(stopUnblock)
+	unblockWG.Wait()
+	if ctx.Err() == nil {
+		conn.SetReadDeadline(time.Time{}) //nolint:errcheck // restore for reuse
+	}
+	return readErr
+}
+
+// serveOne handles one packet with panic isolation: a panicking request
+// is counted and dropped, never fatal to the daemon.
+func (s *Server) serveOne(conn net.PacketConn, pkt packet) {
+	defer s.bufs.Put(pkt.data)
+	defer func() {
+		if r := recover(); r != nil {
+			s.dropped.Add(1)
+		}
+	}()
+	if s.handleHook != nil {
+		s.handleHook()
+	}
+	resp := s.handle((*pkt.data)[:pkt.n])
+	if resp == nil {
+		return // unparseable: drop, as real servers do
+	}
+	if _, err := conn.WriteTo(resp, pkt.peer); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.dropped.Add(1)
 	}
 }
 
@@ -79,12 +233,11 @@ func (s *Server) Serve(conn net.PacketConn) error {
 func (s *Server) handle(pkt []byte) []byte {
 	q, err := Decode(pkt)
 	if err != nil || q.Response || len(q.Questions) != 1 {
+		s.malformed.Add(1)
 		return nil
 	}
-	s.mu.Lock()
-	s.queries++
-	list := s.list
-	s.mu.Unlock()
+	s.queries.Add(1)
+	list := s.list.Load()
 
 	question := q.Questions[0]
 	resp := &Message{
@@ -106,9 +259,7 @@ func (s *Server) handle(pkt []byte) []byte {
 		if !listed {
 			resp.RCode = RCodeNXDomain
 		} else {
-			s.mu.Lock()
-			s.listedHits++
-			s.mu.Unlock()
+			s.hits.Add(1)
 			code := codeFor(entry.Reason)
 			o0, o1, o2, o3 := code.Octets()
 			resp.Answers = append(resp.Answers, Answer{
@@ -140,54 +291,4 @@ func codeFor(reason string) netaddr.Addr {
 		return CodePhish
 	}
 	return CodeGeneric
-}
-
-// Lookup performs a DNSBL query against server (a UDP address) and
-// reports whether addr is listed, with the return code when it is.
-func Lookup(server string, zone string, addr netaddr.Addr, timeout time.Duration) (listed bool, code netaddr.Addr, err error) {
-	conn, err := net.Dial("udp", server)
-	if err != nil {
-		return false, 0, err
-	}
-	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return false, 0, err
-	}
-	q := &Message{
-		ID:               uint16(time.Now().UnixNano()) | 1,
-		RecursionDesired: true,
-		Questions: []Question{{
-			Name:  QueryName(addr, zone),
-			Type:  TypeA,
-			Class: ClassIN,
-		}},
-	}
-	pkt, err := q.Encode()
-	if err != nil {
-		return false, 0, err
-	}
-	if _, err := conn.Write(pkt); err != nil {
-		return false, 0, err
-	}
-	buf := make([]byte, maxMessage)
-	n, err := conn.Read(buf)
-	if err != nil {
-		return false, 0, err
-	}
-	resp, err := Decode(buf[:n])
-	if err != nil {
-		return false, 0, err
-	}
-	if resp.ID != q.ID || !resp.Response {
-		return false, 0, fmt.Errorf("dnsbl: mismatched response")
-	}
-	if resp.RCode == RCodeNXDomain {
-		return false, 0, nil
-	}
-	for _, a := range resp.Answers {
-		if a.Type == TypeA && len(a.Data) == 4 {
-			return true, netaddr.MakeAddr(a.Data[0], a.Data[1], a.Data[2], a.Data[3]), nil
-		}
-	}
-	return false, 0, nil
 }

@@ -1,0 +1,293 @@
+// Package faults provides deterministic, seed-driven fault injectors for
+// chaos testing the operational spine: a flaky net.PacketConn wrapper
+// (packet drops, short writes, transient errors, latency), erroring and
+// short-read io.Reader/io.Writer wrappers, and a crash plan for file
+// writers. Every injector draws its decisions from a stats.RNG, so a
+// chaos run is a pure function of its seed — a failure found once can be
+// replayed forever.
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"unclean/internal/stats"
+)
+
+// ErrTransient is the error injected for recoverable failures. It
+// reports Timeout() true so net-style callers classify it as retryable.
+var ErrTransient error = &transientError{}
+
+type transientError struct{}
+
+func (*transientError) Error() string   { return "faults: injected transient error" }
+func (*transientError) Timeout() bool   { return true }
+func (*transientError) Temporary() bool { return true }
+
+// ErrCrash is returned by a tripped Crasher and by every operation after
+// it: the component is "dead" until the harness builds a fresh one, the
+// file-level analogue of a kill -9.
+var ErrCrash = errors.New("faults: injected crash")
+
+// ConnConfig sets the fault rates of a FlakyConn. All rates are
+// probabilities in [0, 1]; zero disables that fault.
+type ConnConfig struct {
+	// DropRead drops an arrived packet (the read blocks for the next one),
+	// as if the datagram was lost before us.
+	DropRead float64
+	// DropWrite silently discards an outgoing packet while reporting
+	// success — UDP's own failure mode.
+	DropWrite float64
+	// WriteErr makes WriteTo fail with ErrTransient.
+	WriteErr float64
+	// ShortWrite truncates an outgoing packet to a random strict prefix
+	// (still reporting the full length, as a buggy stack would).
+	ShortWrite float64
+	// MaxLatency, when positive, sleeps a uniform duration in
+	// [0, MaxLatency) before delivering each read.
+	MaxLatency time.Duration
+}
+
+// FlakyConn wraps a net.PacketConn with seeded fault injection. It is
+// safe for concurrent use; the RNG is internally locked, and the stream
+// of fault decisions (in arrival order) is determined by the seed.
+type FlakyConn struct {
+	net.PacketConn
+	cfg ConnConfig
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	dropped int
+}
+
+// NewFlakyConn wraps conn with the given fault configuration and seed.
+func NewFlakyConn(conn net.PacketConn, cfg ConnConfig, seed uint64) *FlakyConn {
+	return &FlakyConn{PacketConn: conn, cfg: cfg, rng: stats.NewRNG(seed)}
+}
+
+// Dropped returns how many packets (reads plus writes) were discarded.
+func (c *FlakyConn) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// roll draws a biased coin under the lock.
+func (c *FlakyConn) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	hit := c.rng.Bool(p)
+	c.mu.Unlock()
+	return hit
+}
+
+// latency draws a read delay under the lock.
+func (c *FlakyConn) latency() time.Duration {
+	if c.cfg.MaxLatency <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Float64() * float64(c.cfg.MaxLatency))
+	c.mu.Unlock()
+	return d
+}
+
+// ReadFrom delivers the next surviving packet, dropping arrivals with
+// probability DropRead and delaying delivery by the configured latency.
+func (c *FlakyConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(p)
+		if err != nil {
+			return n, addr, err
+		}
+		if c.roll(c.cfg.DropRead) {
+			c.mu.Lock()
+			c.dropped++
+			c.mu.Unlock()
+			continue
+		}
+		if d := c.latency(); d > 0 {
+			time.Sleep(d)
+		}
+		return n, addr, nil
+	}
+}
+
+// WriteTo sends the packet subject to the configured drop, error, and
+// short-write faults.
+func (c *FlakyConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	if c.roll(c.cfg.WriteErr) {
+		return 0, ErrTransient
+	}
+	if c.roll(c.cfg.DropWrite) {
+		c.mu.Lock()
+		c.dropped++
+		c.mu.Unlock()
+		return len(p), nil // UDP: lost on the wire, sender none the wiser
+	}
+	if len(p) > 1 && c.roll(c.cfg.ShortWrite) {
+		c.mu.Lock()
+		cut := 1 + c.rng.Intn(len(p)-1)
+		c.mu.Unlock()
+		if _, err := c.PacketConn.WriteTo(p[:cut], addr); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return c.PacketConn.WriteTo(p, addr)
+}
+
+// ReaderConfig sets the fault rates of a FlakyReader.
+type ReaderConfig struct {
+	// ErrRate makes a Read call fail with ErrTransient (no data consumed
+	// on that call).
+	ErrRate float64
+	// ShortRead truncates a Read to a random strict prefix of what it
+	// would have returned — legal per io.Reader, but exercises callers
+	// that wrongly assume full buffers.
+	ShortRead float64
+}
+
+// FlakyReader wraps r with seeded transient errors and short reads.
+type FlakyReader struct {
+	r   io.Reader
+	cfg ReaderConfig
+	rng *stats.RNG
+}
+
+// NewFlakyReader wraps r with the given fault configuration and seed.
+func NewFlakyReader(r io.Reader, cfg ReaderConfig, seed uint64) *FlakyReader {
+	return &FlakyReader{r: r, cfg: cfg, rng: stats.NewRNG(seed)}
+}
+
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if f.cfg.ErrRate > 0 && f.rng.Bool(f.cfg.ErrRate) {
+		return 0, ErrTransient
+	}
+	if f.cfg.ShortRead > 0 && len(p) > 1 && f.rng.Bool(f.cfg.ShortRead) {
+		p = p[:1+f.rng.Intn(len(p)-1)]
+	}
+	return f.r.Read(p)
+}
+
+// WriterConfig sets the fault rates of a FlakyWriter.
+type WriterConfig struct {
+	// ErrRate makes a Write call fail with ErrTransient before writing.
+	ErrRate float64
+	// ShortWrite writes a random strict prefix and reports the truncated
+	// count with io.ErrShortWrite, as a full pipe would.
+	ShortWrite float64
+}
+
+// FlakyWriter wraps w with seeded transient errors and short writes.
+type FlakyWriter struct {
+	w   io.Writer
+	cfg WriterConfig
+	rng *stats.RNG
+}
+
+// NewFlakyWriter wraps w with the given fault configuration and seed.
+func NewFlakyWriter(w io.Writer, cfg WriterConfig, seed uint64) *FlakyWriter {
+	return &FlakyWriter{w: w, cfg: cfg, rng: stats.NewRNG(seed)}
+}
+
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	if f.cfg.ErrRate > 0 && f.rng.Bool(f.cfg.ErrRate) {
+		return 0, ErrTransient
+	}
+	if f.cfg.ShortWrite > 0 && len(p) > 1 && f.rng.Bool(f.cfg.ShortWrite) {
+		n, err := f.w.Write(p[:1+f.rng.Intn(len(p)-1)])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return f.w.Write(p)
+}
+
+// Crasher simulates a process kill at an exact step of a multi-step
+// operation: the n-th Step call (0-indexed) and every call after it
+// fails with ErrCrash. Feed it to atomicfile's Hook to crash a
+// checkpoint write at each of its stages in turn.
+type Crasher struct {
+	mu    sync.Mutex
+	at    int
+	calls int
+	dead  bool
+}
+
+// CrashAt builds a Crasher that trips on the n-th Step call. Negative n
+// never trips.
+func CrashAt(n int) *Crasher {
+	if n < 0 {
+		return &Crasher{at: -1}
+	}
+	return &Crasher{at: n}
+}
+
+// Step records one passed checkpoint; it returns ErrCrash on the fatal
+// step and forever after. The stage argument is accepted (and ignored)
+// so Step satisfies hook signatures of the form func(stage string) error.
+func (c *Crasher) Step(stage string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return ErrCrash
+	}
+	if c.at >= 0 && c.calls == c.at {
+		c.dead = true
+		return ErrCrash
+	}
+	c.calls++
+	return nil
+}
+
+// Tripped reports whether the crash fired.
+func (c *Crasher) Tripped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Calls returns how many steps passed before any crash.
+func (c *Crasher) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// CrashWriter fails permanently once limit bytes have been written —
+// the classic torn write: a checkpoint truncated mid-payload. Bytes up
+// to the limit reach the underlying writer.
+type CrashWriter struct {
+	w         io.Writer
+	remaining int
+	dead      bool
+}
+
+// NewCrashWriter wraps w to accept exactly limit bytes before dying.
+func NewCrashWriter(w io.Writer, limit int) *CrashWriter {
+	return &CrashWriter{w: w, remaining: limit}
+}
+
+func (c *CrashWriter) Write(p []byte) (int, error) {
+	if c.dead {
+		return 0, ErrCrash
+	}
+	if len(p) <= c.remaining {
+		c.remaining -= len(p)
+		return c.w.Write(p)
+	}
+	n, err := c.w.Write(p[:c.remaining])
+	c.remaining = 0
+	c.dead = true
+	if err != nil {
+		return n, err
+	}
+	return n, ErrCrash
+}

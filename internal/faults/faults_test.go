@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlakyConnDeterministicDrops(t *testing.T) {
+	run := func(seed uint64) (delivered int) {
+		server, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer server.Close()
+		flaky := NewFlakyConn(server, ConnConfig{DropRead: 0.5}, seed)
+
+		client, err := net.Dial("udp", server.LocalAddr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		const sent = 40
+		for i := 0; i < sent; i++ {
+			if _, err := client.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf := make([]byte, 16)
+		flaky.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		for {
+			_, _, err := flaky.ReadFrom(buf)
+			if err != nil {
+				break // deadline: no more packets
+			}
+			delivered++
+		}
+		if got := flaky.Dropped() + delivered; got != sent {
+			t.Fatalf("dropped+delivered = %d, want %d", got, sent)
+		}
+		return delivered
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed delivered %d then %d packets", a, b)
+	}
+	if a == 40 || a == 0 {
+		t.Fatalf("drop rate 0.5 delivered %d/40 — injector inert", a)
+	}
+}
+
+func TestFlakyConnWriteFaults(t *testing.T) {
+	server, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	out, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	flaky := NewFlakyConn(out, ConnConfig{WriteErr: 0.3, DropWrite: 0.3, ShortWrite: 0.3}, 99)
+
+	pkt := []byte("0123456789")
+	var transients, oks int
+	for i := 0; i < 50; i++ {
+		n, err := flaky.WriteTo(pkt, server.LocalAddr())
+		switch {
+		case errors.Is(err, ErrTransient):
+			transients++
+		case err != nil:
+			t.Fatal(err)
+		default:
+			if n != len(pkt) {
+				t.Fatalf("successful write reported %d bytes", n)
+			}
+			oks++
+		}
+	}
+	if transients == 0 || oks == 0 {
+		t.Fatalf("transients=%d oks=%d — faults not firing", transients, oks)
+	}
+	// Something actually arrived, possibly truncated.
+	server.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	buf := make([]byte, 64)
+	arrived, short := 0, 0
+	for {
+		n, _, err := server.ReadFrom(buf)
+		if err != nil {
+			break
+		}
+		arrived++
+		if n < len(pkt) {
+			short++
+		}
+	}
+	if arrived == 0 {
+		t.Fatal("no packets arrived at all")
+	}
+	if short == 0 {
+		t.Fatal("short-write fault never truncated a packet")
+	}
+}
+
+func TestFlakyReaderShortAndErr(t *testing.T) {
+	payload := strings.Repeat("abcdefgh", 64)
+	fr := NewFlakyReader(strings.NewReader(payload), ReaderConfig{ErrRate: 0.3, ShortRead: 0.5}, 1)
+	var got bytes.Buffer
+	buf := make([]byte, 32)
+	transients := 0
+	for {
+		n, err := fr.Read(buf)
+		got.Write(buf[:n])
+		if errors.Is(err, ErrTransient) {
+			transients++
+			continue
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.String() != payload {
+		t.Fatalf("payload corrupted through flaky reader: %d vs %d bytes", got.Len(), len(payload))
+	}
+	if transients == 0 {
+		t.Fatal("no transient read errors injected")
+	}
+}
+
+func TestFlakyWriterShortWrite(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewFlakyWriter(&sink, WriterConfig{ShortWrite: 1}, 3)
+	n, err := fw.Write([]byte("hello world"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if n >= 11 || n != sink.Len() {
+		t.Fatalf("reported %d bytes, sink has %d", n, sink.Len())
+	}
+}
+
+func TestCrasherTripsExactlyOnce(t *testing.T) {
+	c := CrashAt(2)
+	if err := c.Step("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step("c"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("step 2 = %v, want ErrCrash", err)
+	}
+	if err := c.Step("d"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash step = %v, want ErrCrash", err)
+	}
+	if !c.Tripped() || c.Calls() != 2 {
+		t.Fatalf("tripped=%v calls=%d", c.Tripped(), c.Calls())
+	}
+	never := CrashAt(-1)
+	for i := 0; i < 100; i++ {
+		if err := never.Step("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrashWriterTornWrite(t *testing.T) {
+	var sink bytes.Buffer
+	cw := NewCrashWriter(&sink, 5)
+	if n, err := cw.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	n, err := cw.Write([]byte("defgh"))
+	if !errors.Is(err, ErrCrash) || n != 2 {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	if sink.String() != "abcde" {
+		t.Fatalf("sink = %q, want exactly the byte limit", sink.String())
+	}
+	if _, err := cw.Write([]byte("x")); !errors.Is(err, ErrCrash) {
+		t.Fatal("writer usable after crash")
+	}
+}
+
+func TestTransientErrorIsNetTimeout(t *testing.T) {
+	var nerr net.Error
+	if !errors.As(ErrTransient, &nerr) || !nerr.Timeout() {
+		t.Fatal("ErrTransient is not a net.Error timeout")
+	}
+}

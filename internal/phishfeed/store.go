@@ -1,0 +1,65 @@
+package phishfeed
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"unclean/internal/atomicfile"
+	"unclean/internal/retry"
+)
+
+// Durable feed files and fault-tolerant ingestion. Feeds arrive from
+// the outside world (a reporting service, a spam-trap harvest), so the
+// ingest path assumes the source flakes: reads are retried per policy,
+// and only a feed that actually parses replaces the previous one.
+
+// SaveFile atomically writes the feed to path with a CRC32 trailer
+// (temp → fsync → rename, via atomicfile).
+func (f *Feed) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		return err
+	}
+	if err := atomicfile.WriteFile(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("phishfeed: %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a feed file, verifying its CRC trailer when present
+// (files written before trailers existed load unchanged).
+func LoadFile(path string) (*Feed, error) {
+	data, err := atomicfile.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Read(bytes.NewReader(data))
+}
+
+// ReadRetry ingests a feed from a reopenable source, retrying transient
+// failures (open errors, short or broken reads) per the policy. A feed
+// that parses wrong is permanent — more attempts cannot fix a malformed
+// line — so the caller can fall back to its last-good feed immediately.
+func ReadRetry(ctx context.Context, p retry.Policy, open func() (io.ReadCloser, error)) (*Feed, error) {
+	var feed *Feed
+	err := retry.Do(ctx, p, func() error {
+		rc, err := open()
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		data, err := io.ReadAll(rc)
+		if err != nil {
+			return err // source may heal: retryable
+		}
+		f, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		feed = f
+		return nil
+	})
+	return feed, err
+}

@@ -1,0 +1,120 @@
+package phishfeed
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"unclean/internal/faults"
+	"unclean/internal/netaddr"
+	"unclean/internal/retry"
+)
+
+func storeSampleFeed() *Feed {
+	f := &Feed{}
+	day := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		a := netaddr.MustParseAddr("81.2.3.4") + netaddr.Addr(i)
+		f.Add(Incident{Reported: day.AddDate(0, 0, i%7), URL: LureURL("bank", a, uint32(i)), Addr: a})
+	}
+	return f
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "phish.feed")
+	f := storeSampleFeed()
+	if err := f.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "#crc32:") {
+		t.Fatal("feed file missing CRC trailer")
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != f.Len() {
+		t.Fatalf("incidents: %d vs %d", got.Len(), f.Len())
+	}
+	// Corruption is detected, not half-parsed.
+	raw[len(raw)/3] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("corrupted feed accepted")
+	}
+}
+
+// ReadRetry rides out transient source failures deterministically: a
+// seeded flaky reader that fails whole attempts is retried until one
+// attempt survives end to end.
+func TestReadRetryHealsTransientSource(t *testing.T) {
+	var rendered strings.Builder
+	if err := storeSampleFeed().Write(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	open := func() (io.ReadCloser, error) {
+		attempts++
+		if attempts <= 2 {
+			// First two attempts: source down entirely.
+			return nil, faults.ErrTransient
+		}
+		// Third: flaky mid-stream (short reads are fine; an error kills
+		// the attempt and forces another open).
+		cfg := faults.ReaderConfig{ShortRead: 0.5}
+		if attempts == 3 {
+			cfg.ErrRate = 1 // fails immediately
+		}
+		return io.NopCloser(faults.NewFlakyReader(strings.NewReader(rendered.String()), cfg, uint64(attempts))), nil
+	}
+	p := retry.Policy{MaxAttempts: 6, BaseDelay: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	feed, err := ReadRetry(context.Background(), p, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feed.Len() != storeSampleFeed().Len() {
+		t.Fatalf("incidents = %d, want %d", feed.Len(), storeSampleFeed().Len())
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+}
+
+// A malformed feed is permanent: no point retrying a parse error.
+func TestReadRetryParseErrorIsPermanent(t *testing.T) {
+	attempts := 0
+	open := func() (io.ReadCloser, error) {
+		attempts++
+		return io.NopCloser(strings.NewReader("2006-10-01,toofew\n")), nil
+	}
+	p := retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	if _, err := ReadRetry(context.Background(), p, open); err == nil {
+		t.Fatal("malformed feed accepted")
+	}
+	if attempts != 1 {
+		t.Fatalf("parse error retried %d times", attempts)
+	}
+}
+
+func TestReadRetryExhaustion(t *testing.T) {
+	down := errors.New("feed host unreachable")
+	p := retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	_, err := ReadRetry(context.Background(), p, func() (io.ReadCloser, error) { return nil, down })
+	if !errors.Is(err, down) {
+		t.Fatalf("err = %v, want wrapped source error", err)
+	}
+}

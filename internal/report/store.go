@@ -1,18 +1,26 @@
 package report
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"unclean/internal/atomicfile"
+	"unclean/internal/retry"
 )
 
 // Ext is the file extension report files use on disk.
 const Ext = ".report"
 
 // SaveDir writes every report of the inventory into dir as
-// "<tag>.report" files, creating dir if needed.
+// "<tag>.report" files, creating dir if needed. Each file is written
+// atomically (temp → fsync → rename) with a CRC32 trailer, so a crash
+// mid-save leaves every report either fully old or fully new — never
+// torn.
 func (inv *Inventory) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -22,24 +30,20 @@ func (inv *Inventory) SaveDir(dir string) error {
 			return fmt.Errorf("report: tag %q not usable as a filename", r.Tag)
 		}
 		path := filepath.Join(dir, r.Tag+Ext)
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := r.Write(f); err != nil {
-			f.Close()
+		var buf bytes.Buffer
+		if err := r.Write(&buf); err != nil {
 			return fmt.Errorf("report: writing %s: %w", path, err)
 		}
-		if err := f.Close(); err != nil {
-			return err
+		if err := atomicfile.WriteFile(path, buf.Bytes()); err != nil {
+			return fmt.Errorf("report: writing %s: %w", path, err)
 		}
 	}
 	return nil
 }
 
 // LoadDir reads every *.report file in dir into an inventory, ordered by
-// filename. Files that fail to parse abort the load with a path-tagged
-// error.
+// filename. Files carrying a CRC trailer are verified against it. Files
+// that fail to parse abort the load with a path-tagged error.
 func LoadDir(dir string) (*Inventory, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -58,12 +62,11 @@ func LoadDir(dir string) (*Inventory, error) {
 	inv := &Inventory{Title: "Reports from " + dir}
 	for _, name := range names {
 		path := filepath.Join(dir, name)
-		f, err := os.Open(path)
+		data, err := atomicfile.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("report: %s: %w", path, err)
 		}
-		r, err := Read(f)
-		f.Close()
+		r, err := Read(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("report: %s: %w", path, err)
 		}
@@ -73,4 +76,20 @@ func LoadDir(dir string) (*Inventory, error) {
 		inv.Add(r)
 	}
 	return inv, nil
+}
+
+// LoadDirRetry is LoadDir hardened for feed ingestion: failures are
+// retried per the policy before giving up. Even parse failures are
+// retryable here — a feed directory observed mid-write by a non-atomic
+// producer repairs itself moments later. Callers pair this with a
+// circuit breaker and keep serving their last-good inventory while the
+// feed misbehaves.
+func LoadDirRetry(ctx context.Context, p retry.Policy, dir string) (*Inventory, error) {
+	var inv *Inventory
+	err := retry.Do(ctx, p, func() error {
+		var lerr error
+		inv, lerr = LoadDir(dir)
+		return lerr
+	})
+	return inv, err
 }

@@ -1,11 +1,15 @@
 package report
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"unclean/internal/ipset"
+	"unclean/internal/retry"
 )
 
 func TestSaveLoadDirRoundTrip(t *testing.T) {
@@ -96,5 +100,69 @@ func TestLoadDirErrors(t *testing.T) {
 	got, err := LoadDir(ok)
 	if err != nil || len(got.Reports) != 1 {
 		t.Fatalf("LoadDir with stray file: %v, %d reports", err, len(got.Reports))
+	}
+}
+
+// SaveDir now writes atomically with a CRC trailer; LoadDir must verify
+// it and reject bit rot instead of half-parsing.
+func TestLoadDirDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	inv := &Inventory{}
+	inv.Add(sampleReport())
+	if err := inv.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bot"+Ext)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "#crc32:") {
+		t.Fatal("report file missing CRC trailer")
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("corrupted report accepted")
+	}
+}
+
+// LoadDirRetry rides out a transiently broken feed directory: the
+// canonical case is a report observed mid-write by a non-atomic
+// producer, repaired before the retries run out.
+func TestLoadDirRetryHeals(t *testing.T) {
+	dir := t.TempDir()
+	inv := &Inventory{}
+	inv.Add(sampleReport())
+	torn := filepath.Join(dir, "torn"+Ext)
+	if err := inv.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, []byte("# unclean report v1\ntag: torn\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	p := retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			// "Repair" the feed after two failed attempts.
+			if attempts++; attempts >= 2 {
+				os.Remove(torn)
+			}
+			return nil
+		}}
+	got, err := LoadDirRetry(context.Background(), p, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Reports) != 1 || got.Get("bot") == nil {
+		t.Fatalf("recovered inventory wrong: %d reports", len(got.Reports))
+	}
+	// A permanently broken dir still errors out after the attempts.
+	if _, err := LoadDirRetry(context.Background(), retry.Policy{MaxAttempts: 2,
+		Sleep: func(context.Context, time.Duration) error { return nil }},
+		filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
 	}
 }

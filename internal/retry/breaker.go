@@ -1,0 +1,89 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Do while the circuit is open: the
+// guarded operation has failed enough consecutive times that further
+// tries are refused until the cooldown elapses.
+var ErrOpen = errors.New("retry: circuit open")
+
+// Breaker is a small consecutive-failure circuit breaker. After
+// Threshold consecutive failures it opens for Cooldown; the first call
+// after the cooldown is a half-open probe — success closes the circuit,
+// failure re-opens it for another cooldown.
+//
+// The zero value is not usable; construct with NewBreaker. All methods
+// are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	openUntil time.Time
+	now       func() time.Time
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and stays open for cooldown. threshold below 1 is treated
+// as 1.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock injects a clock, so tests can march time deterministically.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until the cooldown has elapsed; then it lets one half-open probe
+// through.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() || b.now().After(b.openUntil) {
+		return true
+	}
+	return false
+}
+
+// Record feeds an operation outcome to the breaker: nil resets the
+// consecutive-failure count and closes the circuit; an error counts
+// toward (or re-arms) opening it.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// Open reports whether the circuit is currently refusing calls.
+func (b *Breaker) Open() bool { return !b.Allow() }
+
+// Do guards op with the breaker: if the circuit is open it returns
+// ErrOpen without calling op; otherwise it runs op and records the
+// outcome.
+func (b *Breaker) Do(op func() error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	err := op()
+	b.Record(err)
+	return err
+}

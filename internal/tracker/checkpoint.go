@@ -1,0 +1,58 @@
+package tracker
+
+import (
+	"bytes"
+	"fmt"
+
+	"unclean/internal/atomicfile"
+)
+
+// Crash-safe checkpoint files (format v2). SaveFile renders the v1 text
+// format and hands it to atomicfile, which writes temp → fsync → rename
+// and appends a CRC32 trailer line. The trailer is a '#' comment, so a
+// v2 checkpoint still loads with a v1 reader, and v1 checkpoints
+// (no trailer) still load here — byte compatibility both ways.
+//
+// SaveFile keeps one previous generation as <path>.prev; LoadFile falls
+// back to it when the primary file is missing or fails its CRC, so a
+// crash — at any point — costs at most the single unacknowledged write.
+
+// SaveFile atomically checkpoints the tracker to path. When SaveFile
+// returns nil the state is durable: a subsequent crash cannot lose it.
+func (t *Tracker) SaveFile(path string) error {
+	return t.saveFileHook(path, nil)
+}
+
+// saveFileHook is the fault-injection seam the chaos tests drive.
+func (t *Tracker) saveFileHook(path string, hook atomicfile.Hook) error {
+	var buf bytes.Buffer
+	if err := t.Save(&buf); err != nil {
+		return fmt.Errorf("tracker: checkpoint %s: %w", path, err)
+	}
+	if err := atomicfile.WriteCheckpointHook(path, buf.Bytes(), hook); err != nil {
+		return fmt.Errorf("tracker: checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reconstructs a tracker from the newest valid checkpoint at
+// path: the file itself if it verifies, else its .prev generation.
+func LoadFile(path string) (*Tracker, error) {
+	data, err := atomicfile.LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Load(bytes.NewReader(data))
+	if err != nil {
+		// The primary verified its CRC but does not parse (v1 file torn
+		// by a pre-atomicfile writer): the previous generation is the
+		// last resort.
+		if prev, perr := atomicfile.ReadFile(path + atomicfile.PrevSuffix); perr == nil {
+			if tp, perr := Load(bytes.NewReader(prev)); perr == nil {
+				return tp, nil
+			}
+		}
+		return nil, err
+	}
+	return t, nil
+}

@@ -2,6 +2,7 @@ package tracker
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -29,6 +30,13 @@ import (
 // four dimension counts as of that timestamp.
 
 const persistMagic = "# unclean tracker v1"
+
+// MaxLineBytes bounds one checkpoint line. A line holds one block's
+// state (~80 bytes) or a header, so even pathological float renderings
+// fit with orders of magnitude to spare; anything longer is corruption,
+// reported with its line number instead of the scanner's bare
+// "token too long".
+const MaxLineBytes = 1 << 20
 
 // Save writes the tracker state to w.
 func (t *Tracker) Save(w io.Writer) error {
@@ -59,8 +67,14 @@ func (t *Tracker) Save(w io.Writer) error {
 // Load reconstructs a tracker from a Save checkpoint.
 func Load(r io.Reader) (*Tracker, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
-	if !sc.Scan() || strings.TrimSpace(sc.Text()) != persistMagic {
+	sc.Buffer(make([]byte, 64*1024), MaxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, scanErr(1, err)
+		}
+		return nil, fmt.Errorf("tracker: bad checkpoint magic")
+	}
+	if strings.TrimSpace(sc.Text()) != persistMagic {
 		return nil, fmt.Errorf("tracker: bad checkpoint magic")
 	}
 	cfg := Config{}
@@ -141,10 +155,19 @@ func Load(r io.Reader) (*Tracker, error) {
 		t.blocks[base] = b
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanErr(line+1, err)
 	}
 	if t == nil {
 		return nil, fmt.Errorf("tracker: checkpoint missing blocks section")
 	}
 	return t, nil
+}
+
+// scanErr tags a scanner failure with the line it occurred on, naming
+// the limit when the line overflowed it.
+func scanErr(line int, err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("tracker: line %d: exceeds %d-byte line limit: %w", line, MaxLineBytes, err)
+	}
+	return fmt.Errorf("tracker: line %d: %w", line, err)
 }
