@@ -17,22 +17,33 @@
 // already accepted, a final checkpoint is written, and the serving
 // counters are printed.
 //
-//	dnsbld -listen 127.0.0.1:5354 -scale 500 &
+// With -metrics the daemon exposes its observability surface over HTTP:
+// /metrics (Prometheus text), /metrics.json (JSON snapshot with
+// latency quantiles), /debug/pprof/ and /debug/vars. Operational events
+// (reloads, breaker trips, checkpoint recoveries) are structured slog
+// records on stderr; set UNCLEAN_LOG_FORMAT=json for machine-readable
+// logs and UNCLEAN_LOG_LEVEL=debug for more detail.
+//
+//	dnsbld -listen 127.0.0.1:5354 -metrics 127.0.0.1:9090 -scale 500 &
 //	dig @127.0.0.1 -p 5354 2.1.1.10.bl.unclean.example A
+//	curl -s http://127.0.0.1:9090/metrics | grep unclean_dnsbl
 //
 // Usage:
 //
 //	dnsbld [-listen ADDR] [-zone bl.unclean.example] [-threshold 0.6]
-//	       [-scale N] [-seed N] [-selfcheck N]
+//	       [-scale N] [-seed N] [-selfcheck N] [-metrics ADDR]
 //	       [-reports DIR] [-reload DUR] [-checkpoint PATH]
 //	       [-checkpoint-every DUR] [-halflife DUR] [-workers N] [-queue N]
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,10 +54,15 @@ import (
 	"unclean/internal/dnsbl"
 	"unclean/internal/experiments"
 	"unclean/internal/netaddr"
+	"unclean/internal/obs"
 	"unclean/internal/report"
 	"unclean/internal/retry"
 	"unclean/internal/tracker"
 )
+
+// logger is the daemon's component logger; swap the sink process-wide
+// with obs.SetLogOutput (tests do).
+var logger = obs.Logger("dnsbld")
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,6 +79,7 @@ type options struct {
 	scaleDen        float64
 	seed            uint64
 	selfcheck       int
+	metrics         string
 	reports         string
 	reload          time.Duration
 	checkpoint      string
@@ -80,6 +97,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.Float64Var(&o.scaleDen, "scale", 500, "scale denominator for the generated world")
 	fs.Uint64Var(&o.seed, "seed", 20061001, "world seed")
 	fs.IntVar(&o.selfcheck, "selfcheck", 3, "after startup, query this many listed blocks and exit (0 = serve forever)")
+	fs.StringVar(&o.metrics, "metrics", "", "HTTP address for /metrics, /metrics.json, /debug/pprof/, /debug/vars (empty disables)")
 	fs.StringVar(&o.reports, "reports", "", "serve from this directory of *.report files instead of a generated world")
 	fs.DurationVar(&o.reload, "reload", 0, "re-ingest -reports at this interval (0 disables)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "crash-safe tracker checkpoint path (loaded at startup if present)")
@@ -97,6 +115,40 @@ func parseFlags(args []string) (*options, error) {
 		return nil, fmt.Errorf("-threshold must be in [0, 1]")
 	}
 	return o, nil
+}
+
+// metricsMux assembles the daemon's diagnostic HTTP surface: Prometheus
+// text + JSON exposition of the merged registries, pprof profiling, and
+// expvar. A dedicated mux (not http.DefaultServeMux) keeps the surface
+// explicit and testable.
+func metricsMux(regs ...*obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	expo := obs.Handler(regs...)
+	mux.Handle("/metrics", expo)
+	mux.Handle("/metrics.json", expo)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveMetrics binds the diagnostic HTTP listener and serves it in the
+// background. The returned shutdown func closes the listener; the
+// returned address is the bound one (useful with ":0").
+func serveMetrics(addr string, regs ...*obs.Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listen: %w", err)
+	}
+	hs := &http.Server{Handler: metricsMux(regs...)}
+	go hs.Serve(ln) //nolint:errcheck // Close below is the shutdown path
+	logger.Info("metrics listening",
+		"addr", ln.Addr().String(),
+		"endpoints", "/metrics /metrics.json /debug/pprof/ /debug/vars")
+	return ln.Addr().String(), func() { hs.Close() }, nil
 }
 
 // feedPolicy is the per-ingestion retry schedule.
@@ -146,7 +198,7 @@ func trackerFromWorld(o *options) (*tracker.Tracker, error) {
 	cfg.Scale = 1 / o.scaleDen
 	cfg.Seed = o.seed
 	cfg.Draws = 1 // no estimates needed; only reports
-	fmt.Fprintf(os.Stderr, "generating world at scale 1/%.0f...\n", o.scaleDen)
+	logger.Info("generating world", "scale_denominator", o.scaleDen, "seed", o.seed)
 	ds, err := experiments.Build(cfg)
 	if err != nil {
 		return nil, err
@@ -161,6 +213,7 @@ func trackerFromWorld(o *options) (*tracker.Tracker, error) {
 // listFromTracker compiles the blocklist the tracker's scores imply,
 // each rule annotated with its dominant dimension.
 func listFromTracker(tr *tracker.Tracker, threshold float64) *blocklist.Trie {
+	defer obs.StartSpan("dnsbld/compile").End()
 	list := &blocklist.Trie{}
 	for _, b := range tr.Blocklist(threshold).Blocks(24) {
 		sc := tr.Score(b.Base())
@@ -180,6 +233,7 @@ func listFromTracker(tr *tracker.Tracker, threshold float64) *blocklist.Trie {
 // ingest loads the report directory (with retries) and compiles the
 // tracker; used for both the initial load and every reload.
 func ingest(ctx context.Context, o *options) (*tracker.Tracker, error) {
+	defer obs.StartSpan("dnsbld/ingest").End()
 	inv, err := report.LoadDirRetry(ctx, feedPolicy(), o.reports)
 	if err != nil {
 		return nil, err
@@ -194,7 +248,7 @@ func saveCheckpoint(o *options, tr *tracker.Tracker) {
 		return
 	}
 	if err := tr.SaveFile(o.checkpoint); err != nil {
-		fmt.Fprintln(os.Stderr, "dnsbld: checkpoint:", err)
+		logger.Error("checkpoint save failed", "path", o.checkpoint, "error", err)
 	}
 }
 
@@ -212,8 +266,8 @@ func run(ctx context.Context, args []string) error {
 		tr, err = ingest(ctx, o)
 		if err != nil && o.checkpoint != "" {
 			if rec, rerr := tracker.LoadFile(o.checkpoint); rerr == nil {
-				fmt.Fprintf(os.Stderr, "dnsbld: feed ingest failed (%v); recovered %d blocks from checkpoint\n",
-					err, rec.BlockCount())
+				logger.Warn("feed ingest failed; recovered from checkpoint",
+					"error", err, "blocks", rec.BlockCount(), "path", o.checkpoint)
 				tr, err = rec, nil
 			}
 		}
@@ -239,6 +293,14 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	srv.SetConcurrency(o.workers, o.queue)
+
+	if o.metrics != "" {
+		_, stopMetrics, err := serveMetrics(o.metrics, obs.Default(), srv.Metrics())
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+	}
 
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -277,7 +339,7 @@ func run(ctx context.Context, args []string) error {
 			// final checkpoint records everything observed.
 			<-serveErr
 			saveCheckpoint(o, tr)
-			st := srv.Counters()
+			st := srv.Snapshot()
 			fmt.Printf("shutdown: %d queries (%d listed, %d malformed, %d dropped, %d shed)\n",
 				st.Queries, st.Hits, st.Malformed, st.Dropped, st.Shed)
 			return nil
@@ -286,21 +348,20 @@ func run(ctx context.Context, args []string) error {
 			return err // the socket died underneath us
 		case <-reloadC:
 			if !breaker.Allow() {
-				fmt.Fprintln(os.Stderr, "dnsbld: feed breaker open; serving last-good list")
+				logger.Warn("feed breaker open; serving last-good list", "reports", o.reports)
 				continue
 			}
 			fresh, err := ingest(ctx, o)
 			breaker.Record(err)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "dnsbld: reload failed (serving last-good list):", err)
+				logger.Error("reload failed; serving last-good list", "error", err)
 				continue
 			}
 			tr = fresh
 			list = listFromTracker(tr, o.threshold)
 			srv.SetList(list)
 			saveCheckpoint(o, tr)
-			fmt.Fprintf(os.Stderr, "dnsbld: reloaded %d blocks, serving %d rules\n",
-				tr.BlockCount(), list.Len())
+			logger.Info("feed reloaded", "blocks", tr.BlockCount(), "rules", list.Len())
 		case <-ckptC:
 			saveCheckpoint(o, tr)
 		}
@@ -329,7 +390,7 @@ func selfcheck(addr string, o *options, srv *dnsbl.Server, list *blocklist.Trie)
 	if firstErr != nil {
 		return firstErr
 	}
-	queries, hits := srv.Stats()
-	fmt.Printf("selfcheck complete: %d queries served, %d listed\n", queries, hits)
+	st := srv.Snapshot()
+	fmt.Printf("selfcheck complete: %d queries served, %d listed\n", st.Queries, st.Hits)
 	return nil
 }

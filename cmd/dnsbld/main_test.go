@@ -2,12 +2,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"unclean/internal/ipset"
+	"unclean/internal/obs"
 	"unclean/internal/report"
 	"unclean/internal/tracker"
 )
@@ -110,6 +117,121 @@ func TestRunGracefulShutdown(t *testing.T) {
 	}
 	if _, err := tracker.LoadFile(ckpt); err != nil {
 		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+}
+
+// reservePort grabs a free loopback TCP port; the caller closes the
+// listener and hands the address to the daemon under test.
+func reservePort(t *testing.T) (string, func(), error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	return ln.Addr().String(), func() { ln.Close() }, nil
+}
+
+// The diagnostic mux must serve all four surfaces the -metrics flag
+// advertises: Prometheus text, JSON exposition, pprof, and expvar.
+func TestMetricsMuxEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("unclean_test_mux_total", "mux test counter").Add(7)
+	mux := metricsMux(reg)
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		res := rec.Result()
+		body, _ := io.ReadAll(res.Body)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, res.StatusCode, body)
+		}
+		return res, string(body)
+	}
+
+	res, body := get("/metrics")
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain", ct)
+	}
+	if !strings.Contains(body, "# TYPE unclean_test_mux_total counter") ||
+		!strings.Contains(body, "unclean_test_mux_total 7") {
+		t.Errorf("/metrics missing test series:\n%s", body)
+	}
+
+	res, body = get("/metrics.json")
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics.json Content-Type = %q, want application/json", ct)
+	}
+	var doc struct {
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Error("/metrics.json has no metrics")
+	}
+
+	_, body = get("/debug/vars")
+	if !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars missing memstats:\n%.200s", body)
+	}
+
+	_, body = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing goroutine profile:\n%.200s", body)
+	}
+}
+
+// End to end: a serving daemon with -metrics exposes its per-zone query
+// counters over HTTP while it runs.
+func TestRunServesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	writeReports(t, dir)
+
+	addr, stop, err := reservePort(t)
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-reports", dir,
+			"-threshold", "0.5", "-selfcheck", "0", "-metrics", addr,
+		})
+	}()
+
+	var body string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(res.Body)
+			res.Body.Close()
+			body = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(body, `unclean_dnsbl_queries_total{zone="bl.unclean.example"}`) {
+		t.Errorf("scrape missing per-zone query counter:\n%.500s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down after cancel")
 	}
 }
 

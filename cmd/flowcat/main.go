@@ -14,11 +14,16 @@ import (
 
 	"unclean/internal/netaddr"
 	"unclean/internal/netflow"
+	"unclean/internal/obs"
 )
+
+// logger carries diagnostics as structured records on stderr; matching
+// flow records (the data) go to stdout.
+var logger = obs.Logger("flowcat")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "flowcat:", err)
+		logger.Error("run failed", "error", err)
 		os.Exit(1)
 	}
 }
@@ -77,9 +82,11 @@ func run(args []string, out io.Writer) error {
 	}
 	matched := 0
 	for _, path := range fs.Args() {
+		before := matched
 		if err := catFile(path, &f, *count, &matched, out); err != nil {
 			return err
 		}
+		logger.Debug("archive read", "path", path, "matched", matched-before)
 	}
 	if *count {
 		fmt.Fprintln(out, matched)

@@ -17,13 +17,18 @@ import (
 
 	"unclean/internal/botmonitor"
 	"unclean/internal/netaddr"
+	"unclean/internal/obs"
 	"unclean/internal/report"
 	"unclean/internal/stats"
 )
 
+// logger carries progress and errors as structured records on stderr;
+// the harvested report itself goes to stdout.
+var logger = obs.Logger("ircmon")
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ircmon:", err)
+		logger.Error("run failed", "error", err)
 		os.Exit(1)
 	}
 }
@@ -49,7 +54,7 @@ func run(args []string) error {
 	srv := botmonitor.NewServer("cc.unclean.example")
 	go srv.Serve(l) //nolint:errcheck // exits when the listener closes
 	defer srv.Close()
-	fmt.Printf("C&C server listening on %s, channel %s\n", l.Addr(), *channel)
+	logger.Info("C&C server listening", "addr", l.Addr().String(), "channel", *channel)
 
 	mon := botmonitor.NewMonitor(*channel)
 	done := make(chan struct{})
@@ -95,7 +100,7 @@ func run(args []string) error {
 	}
 
 	lines, malformed := mon.Stats()
-	fmt.Printf("monitor consumed %d lines (%d malformed)\n", lines, malformed)
+	logger.Info("channel monitor finished", "lines", lines, "malformed", malformed)
 	rep := &report.Report{
 		Tag:    "ircmon",
 		Type:   report.Provided,
@@ -105,7 +110,7 @@ func run(args []string) error {
 	}
 	rep.ValidFrom = time.Now().UTC().Truncate(24 * time.Hour)
 	rep.ValidTo = rep.ValidFrom
-	fmt.Printf("harvested %d bot addresses, %d reported victims\n\n",
-		mon.BotAddrs().Len(), mon.ReportedAddrs().Len())
+	logger.Info("bot report harvested",
+		"bots", mon.BotAddrs().Len(), "victims", mon.ReportedAddrs().Len())
 	return rep.Write(os.Stdout)
 }

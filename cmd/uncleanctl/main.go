@@ -21,6 +21,7 @@ import (
 	"unclean/internal/core"
 	"unclean/internal/experiments"
 	"unclean/internal/netflow"
+	"unclean/internal/obs"
 	"unclean/internal/report"
 )
 
@@ -154,6 +155,11 @@ func cmdRun(args []string) error {
 			continue
 		}
 		fmt.Printf("==== %s ====\n%s\n\n%s\n", res.ID(), res.Title(), res.Render())
+	}
+	// The per-run stage-timing table: world build stages plus one span
+	// per experiment, slowest first.
+	if tbl := obs.DefaultTrace().Table(); tbl != "" {
+		fmt.Fprintf(os.Stderr, "\nstage timings:\n%s", tbl)
 	}
 	return nil
 }

@@ -26,6 +26,25 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
+
+	"unclean/internal/obs"
+)
+
+// Checkpoint-durability telemetry (obs default registry). CRC failures
+// and .prev recoveries are the two signals that distinguish "disk is
+// rotting under us" from "all writes land cleanly".
+var (
+	mWrites = obs.Default().Counter("unclean_checkpoint_writes_total",
+		"Atomic checkpoint writes completed (fsynced and renamed).")
+	mWriteErrors = obs.Default().Counter("unclean_checkpoint_write_errors_total",
+		"Atomic checkpoint writes that failed before completion.")
+	mWriteSeconds = obs.Default().Histogram("unclean_checkpoint_write_seconds",
+		"Duration of atomic checkpoint writes (temp file to directory fsync).")
+	mCRCFailures = obs.Default().Counter("unclean_checkpoint_crc_failures_total",
+		"Checkpoint reads rejected by the CRC32 trailer check.")
+	mPrevRecoveries = obs.Default().Counter("unclean_checkpoint_prev_recoveries_total",
+		"Checkpoint loads that fell back to the .prev generation.")
 )
 
 // ErrCorrupt is wrapped by read errors caused by a failed CRC check or a
@@ -66,6 +85,18 @@ func WriteFile(path string, data []byte) error {
 // WriteFileHook is WriteFile with a fault-injection hook (nil is allowed
 // and means no injection).
 func WriteFileHook(path string, data []byte, hook Hook) error {
+	start := time.Now()
+	err := writeFileHook(path, data, hook)
+	if err != nil {
+		mWriteErrors.Inc()
+		return err
+	}
+	mWrites.Inc()
+	mWriteSeconds.Observe(time.Since(start))
+	return nil
+}
+
+func writeFileHook(path string, data []byte, hook Hook) error {
 	step := func(stage string) error {
 		if hook == nil {
 			return nil
@@ -159,19 +190,23 @@ func Verify(raw []byte, name string) ([]byte, error) {
 	}
 	fields := strings.Fields(strings.TrimPrefix(last, trailerPrefix))
 	if len(fields) != 2 {
+		mCRCFailures.Inc()
 		return nil, fmt.Errorf("%w: %s: malformed trailer %q", ErrCorrupt, name, last)
 	}
 	wantSum, err := strconv.ParseUint(fields[0], 16, 32)
 	if err != nil {
+		mCRCFailures.Inc()
 		return nil, fmt.Errorf("%w: %s: malformed trailer %q", ErrCorrupt, name, last)
 	}
 	wantLen, err := strconv.Atoi(fields[1])
 	if err != nil || wantLen != start {
+		mCRCFailures.Inc()
 		return nil, fmt.Errorf("%w: %s: trailer claims %s payload bytes, file has %d",
 			ErrCorrupt, name, fields[1], start)
 	}
 	payload := raw[:start]
 	if got := crc32.ChecksumIEEE(payload); got != uint32(wantSum) {
+		mCRCFailures.Inc()
 		return nil, fmt.Errorf("%w: %s: crc %08x, trailer says %08x", ErrCorrupt, name, got, wantSum)
 	}
 	return payload, nil
@@ -219,6 +254,9 @@ func LoadCheckpoint(path string) ([]byte, error) {
 		return data, nil
 	}
 	if prev, perr := ReadFile(path + PrevSuffix); perr == nil {
+		mPrevRecoveries.Inc()
+		obs.Logger("atomicfile").Warn("recovered previous checkpoint generation",
+			"path", path, "error", err)
 		return prev, nil
 	}
 	return nil, err

@@ -1,0 +1,93 @@
+package dnsbl
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"unclean/internal/blocklist"
+	"unclean/internal/netaddr"
+)
+
+// The serve-path benchmarks pin the cost of the instrumented hot path:
+// handle (decode → trie lookup → encode) and serveOne (handle plus the
+// latency histogram, in-flight gauge, and a null write). CI's bench job
+// archives these, so an instrumentation change that slows serving shows
+// up as a regression in the trajectory, not a guess.
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	list := &blocklist.Trie{}
+	for i := 0; i < 256; i++ {
+		base := netaddr.Addr(uint32(10)<<24 | uint32(i)<<16 | 1<<8)
+		list.Insert(netaddr.MakeBlock(base, 24), "bot")
+	}
+	srv, err := NewServer("bl.bench.example", list, time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+func benchQuery(b *testing.B, addr string) []byte {
+	b.Helper()
+	m := &Message{
+		ID: 7,
+		Questions: []Question{{
+			Name: QueryName(netaddr.MustParseAddr(addr), "bl.bench.example"),
+			Type: TypeA, Class: ClassIN,
+		}},
+	}
+	pkt, err := m.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pkt
+}
+
+func BenchmarkHandleHit(b *testing.B) {
+	srv := benchServer(b)
+	q := benchQuery(b, "10.42.1.9")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if srv.handle(q) == nil {
+			b.Fatal("handle dropped a valid query")
+		}
+	}
+}
+
+func BenchmarkHandleMiss(b *testing.B) {
+	srv := benchServer(b)
+	q := benchQuery(b, "192.0.2.1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if srv.handle(q) == nil {
+			b.Fatal("handle dropped a valid query")
+		}
+	}
+}
+
+// nullConn is a PacketConn whose writes succeed instantly, so the
+// benchmark measures the serve path, not the kernel.
+type nullConn struct{ net.PacketConn }
+
+func (nullConn) WriteTo(p []byte, addr net.Addr) (int, error) { return len(p), nil }
+
+func BenchmarkServeOne(b *testing.B) {
+	srv := benchServer(b)
+	q := benchQuery(b, "10.42.1.9")
+	peer := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := srv.bufs.Get().(*[]byte)
+		copy(*bp, q)
+		srv.serveOne(nullConn{}, packet{data: bp, n: len(q), peer: peer})
+	}
+	b.StopTimer()
+	if st := srv.Snapshot(); st.Queries != uint64(b.N) || st.Latency.Count != uint64(b.N) {
+		b.Fatalf("instrumentation lost queries: %+v after %d", st, b.N)
+	}
+}

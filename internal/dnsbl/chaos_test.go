@@ -273,7 +273,7 @@ func TestChaosOverloadShedsNotBlocks(t *testing.T) {
 	cl.Write(q)
 	<-parked
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.Counters().Shed == 0 {
+	for srv.Snapshot().Shed == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("no shedding under sustained overload")
 		}
@@ -293,5 +293,5 @@ func TestChaosOverloadShedsNotBlocks(t *testing.T) {
 		t.Errorf("Serve: %v", err)
 	}
 	conn.Close()
-	fmt.Fprintf(os.Stderr, "chaos overload: shed=%d queries=%d\n", srv.Counters().Shed, srv.Counters().Queries)
+	fmt.Fprintf(os.Stderr, "chaos overload: shed=%d queries=%d\n", srv.Snapshot().Shed, srv.Snapshot().Queries)
 }

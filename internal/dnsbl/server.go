@@ -13,6 +13,7 @@ import (
 
 	"unclean/internal/blocklist"
 	"unclean/internal/netaddr"
+	"unclean/internal/obs"
 )
 
 // Server answers DNSBL queries for one zone out of a blocklist trie. The
@@ -25,8 +26,13 @@ import (
 // them instead of blocking the reader), per-request panic recovery (one
 // poisoned packet cannot take the daemon down), and context-based
 // graceful shutdown that drains queued work before returning. The hot
-// path is lock-free: counters are atomics and the blocklist hangs off an
-// atomic pointer, so live reloads never contend with queries.
+// path is lock-free: counters are obs atomics and the blocklist hangs
+// off an atomic pointer, so live reloads and metric scrapes never
+// contend with queries.
+//
+// Each server owns a private obs.Registry (series labeled with its
+// zone), so several servers in one process keep independent counters;
+// mount Metrics() on an exposition handler to scrape them.
 type Server struct {
 	zone string
 	ttl  uint32
@@ -36,11 +42,15 @@ type Server struct {
 	workers  int
 	queueLen int
 
-	queries   atomic.Uint64 // well-formed queries handled
-	hits      atomic.Uint64 // queries that matched a listing
-	malformed atomic.Uint64 // undecodable or non-query packets
-	dropped   atomic.Uint64 // responses lost to write errors or panics
-	shed      atomic.Uint64 // packets dropped because the queue was full
+	metrics   *obs.Registry
+	queries   *obs.Counter   // well-formed queries handled
+	hits      *obs.Counter   // queries that matched a listing
+	malformed *obs.Counter   // undecodable or non-query packets
+	dropped   *obs.Counter   // responses lost to write errors or panics
+	shed      *obs.Counter   // packets dropped because the queue was full
+	panics    *obs.Counter   // recovered per-request panics (also dropped)
+	inflight  *obs.Gauge     // packets currently inside a worker
+	latency   *obs.Histogram // per-query handling latency
 
 	// handleHook, when set, runs inside each worker just before the
 	// packet is handled — the seam chaos tests use to inject latency and
@@ -50,7 +60,8 @@ type Server struct {
 	bufs sync.Pool
 }
 
-// ServerStats is a snapshot of the serving counters.
+// ServerStats is a point-in-time snapshot of the serving counters and
+// the query latency distribution.
 type ServerStats struct {
 	// Queries counts well-formed queries handled (including NXDomain
 	// answers); Hits counts those that matched a listing.
@@ -64,6 +75,12 @@ type ServerStats struct {
 	// Shed counts packets discarded unhandled because the worker queue
 	// was full — the overload valve.
 	Shed uint64
+	// Panics counts recovered per-request panics (a subset of Dropped).
+	Panics uint64
+	// InFlight is the number of packets currently inside workers.
+	InFlight int64
+	// Latency summarizes the per-query handling latency distribution.
+	Latency obs.HistSnapshot
 }
 
 // NewServer builds a server for zone backed by list. The worker pool
@@ -87,8 +104,22 @@ func NewServer(zone string, list *blocklist.Trie, ttl time.Duration) (*Server, e
 	}
 	s.list.Store(list)
 	s.bufs.New = func() any { b := make([]byte, maxMessage); return &b }
+	s.metrics = obs.NewRegistry()
+	z := []string{"zone", s.zone}
+	s.queries = s.metrics.Counter("unclean_dnsbl_queries_total", "Well-formed DNSBL queries handled.", z...)
+	s.hits = s.metrics.Counter("unclean_dnsbl_hits_total", "Queries that matched a listing.", z...)
+	s.malformed = s.metrics.Counter("unclean_dnsbl_malformed_total", "Undecodable or non-query packets dropped.", z...)
+	s.dropped = s.metrics.Counter("unclean_dnsbl_dropped_total", "Responses lost to write errors or recovered panics.", z...)
+	s.shed = s.metrics.Counter("unclean_dnsbl_shed_total", "Packets shed unhandled because the worker queue was full.", z...)
+	s.panics = s.metrics.Counter("unclean_dnsbl_panics_total", "Per-request panics recovered on the serving path.", z...)
+	s.inflight = s.metrics.Gauge("unclean_dnsbl_inflight", "Packets currently inside workers.", z...)
+	s.latency = s.metrics.Histogram("unclean_dnsbl_query_seconds", "Per-query handling latency (dequeue to response written).", z...)
 	return s, nil
 }
+
+// Metrics returns the server's private metrics registry, for mounting
+// on an obs exposition handler alongside the Default registry.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // SetConcurrency sizes the worker pool and its queue; it must be called
 // before Serve. Values below 1 keep the current setting.
@@ -113,21 +144,34 @@ func (s *Server) SetList(list *blocklist.Trie) {
 // List returns the currently served blocklist.
 func (s *Server) List() *blocklist.Trie { return s.list.Load() }
 
+// Snapshot returns all serving counters and the latency summary. It is
+// the one stats accessor; the counters it reports are the same obs
+// series the /metrics exposition serves, so the two cannot drift.
+func (s *Server) Snapshot() ServerStats {
+	return ServerStats{
+		Queries:   s.queries.Value(),
+		Hits:      s.hits.Value(),
+		Malformed: s.malformed.Value(),
+		Dropped:   s.dropped.Value(),
+		Shed:      s.shed.Value(),
+		Panics:    s.panics.Value(),
+		InFlight:  s.inflight.Value(),
+		Latency:   s.latency.Snapshot(),
+	}
+}
+
 // Stats returns how many queries were served and how many hit a listing.
+//
+// Deprecated: use Snapshot.
 func (s *Server) Stats() (queries, listed int) {
-	return int(s.queries.Load()), int(s.hits.Load())
+	st := s.Snapshot()
+	return int(st.Queries), int(st.Hits)
 }
 
 // Counters returns a snapshot of all serving counters.
-func (s *Server) Counters() ServerStats {
-	return ServerStats{
-		Queries:   s.queries.Load(),
-		Hits:      s.hits.Load(),
-		Malformed: s.malformed.Load(),
-		Dropped:   s.dropped.Load(),
-		Shed:      s.shed.Load(),
-	}
-}
+//
+// Deprecated: use Snapshot.
+func (s *Server) Counters() ServerStats { return s.Snapshot() }
 
 // packet is one received datagram handed from the reader to a worker.
 // data aliases a pooled buffer returned to the pool after handling.
@@ -193,7 +237,7 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 			// Saturated: shed the packet rather than block the reader —
 			// under overload a DNSBL must keep reading (and mostly
 			// dropping) so legitimate traffic still has a chance.
-			s.shed.Add(1)
+			s.shed.Inc()
 			s.bufs.Put(bp)
 		}
 	}
@@ -209,12 +253,21 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 }
 
 // serveOne handles one packet with panic isolation: a panicking request
-// is counted and dropped, never fatal to the daemon.
+// is counted and dropped, never fatal to the daemon. The whole worker
+// leg — hook, decode, lookup, encode, write — is timed into the query
+// latency histogram.
 func (s *Server) serveOne(conn net.PacketConn, pkt packet) {
+	start := time.Now()
+	s.inflight.Inc()
+	defer func() {
+		s.latency.Observe(time.Since(start))
+		s.inflight.Dec()
+	}()
 	defer s.bufs.Put(pkt.data)
 	defer func() {
 		if r := recover(); r != nil {
-			s.dropped.Add(1)
+			s.panics.Inc()
+			s.dropped.Inc()
 		}
 	}()
 	if s.handleHook != nil {
@@ -225,7 +278,7 @@ func (s *Server) serveOne(conn net.PacketConn, pkt packet) {
 		return // unparseable: drop, as real servers do
 	}
 	if _, err := conn.WriteTo(resp, pkt.peer); err != nil && !errors.Is(err, net.ErrClosed) {
-		s.dropped.Add(1)
+		s.dropped.Inc()
 	}
 }
 
@@ -233,10 +286,10 @@ func (s *Server) serveOne(conn net.PacketConn, pkt packet) {
 func (s *Server) handle(pkt []byte) []byte {
 	q, err := Decode(pkt)
 	if err != nil || q.Response || len(q.Questions) != 1 {
-		s.malformed.Add(1)
+		s.malformed.Inc()
 		return nil
 	}
-	s.queries.Add(1)
+	s.queries.Inc()
 	list := s.list.Load()
 
 	question := q.Questions[0]
@@ -259,7 +312,7 @@ func (s *Server) handle(pkt []byte) []byte {
 		if !listed {
 			resp.RCode = RCodeNXDomain
 		} else {
-			s.hits.Add(1)
+			s.hits.Inc()
 			code := codeFor(entry.Reason)
 			o0, o1, o2, o3 := code.Octets()
 			resp.Answers = append(resp.Answers, Answer{

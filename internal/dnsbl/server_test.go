@@ -73,7 +73,7 @@ func TestServeGracefulShutdownDrains(t *testing.T) {
 
 	// Every packet the reader accepted must have been answered: count
 	// responses arriving at the client.
-	st := srv.Counters()
+	st := srv.Snapshot()
 	client.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
 	buf := make([]byte, maxMessage)
 	responses := 0
@@ -128,7 +128,7 @@ func TestServeShedsUnderOverload(t *testing.T) {
 		}
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.Counters().Shed == 0 {
+	for srv.Snapshot().Shed == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("server never shed under overload")
 		}
@@ -186,9 +186,9 @@ func TestServeRecoversFromPanics(t *testing.T) {
 		}
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.Counters().Dropped < 5 {
+	for srv.Snapshot().Dropped < 5 {
 		if time.Now().After(deadline) {
-			t.Fatalf("panicked requests not recovered: %+v", srv.Counters())
+			t.Fatalf("panicked requests not recovered: %+v", srv.Snapshot())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -219,13 +219,13 @@ func TestServeCountsMalformed(t *testing.T) {
 		}
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.Counters().Malformed < 3 {
+	for srv.Snapshot().Malformed < 3 {
 		if time.Now().After(deadline) {
-			t.Fatalf("malformed = %d, want 3", srv.Counters().Malformed)
+			t.Fatalf("malformed = %d, want 3", srv.Snapshot().Malformed)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if q := srv.Counters().Queries; q != 0 {
+	if q := srv.Snapshot().Queries; q != 0 {
 		t.Fatalf("garbage counted as %d queries", q)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"unclean/internal/ipset"
 	"unclean/internal/netflow"
+	"unclean/internal/obs"
 	"unclean/internal/report"
 	"unclean/internal/scandetect"
 	"unclean/internal/simnet"
@@ -47,27 +48,36 @@ func Build(cfg Config) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Each pipeline stage runs under a span, so every world build
+	// contributes to the process stage-timing table (obs.DefaultTrace).
+	spWorld := obs.StartSpan("build/world")
 	wcfg := simnet.DefaultConfig(cfg.Scale)
 	wcfg.Seed = cfg.Seed
 	world, err := simnet.NewWorld(wcfg)
+	spWorld.End()
 	if err != nil {
 		return nil, err
 	}
 	ds := &Dataset{Cfg: cfg, World: world}
 
 	// Traffic for the unclean window, then the observed reports.
+	spFlows := obs.StartSpan("build/flows")
 	ds.Flows = world.SynthesizeFlows(UncleanFrom, UncleanTo, simnet.FlowOptions{
 		BenignSourcesPerDay: cfg.BenignPerDay,
 		CandidateExtras:     true,
 	})
 	ds.PayloadSources = simnet.PayloadBearingSources(ds.Flows)
 	ds.TCPSources = simnet.TCPSources(ds.Flows)
+	spFlows.End()
 
+	spDetect := obs.StartSpan("build/detect")
 	scanSet, err := scandetect.DetectThreshold(ds.Flows, scandetect.DefaultThresholdConfig())
 	if err != nil {
+		spDetect.End()
 		return nil, fmt.Errorf("experiments: scan detection: %w", err)
 	}
 	spamSet, err := spamdetect.Detect(ds.Flows, spamdetect.DefaultConfig())
+	spDetect.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: spam detection: %w", err)
 	}

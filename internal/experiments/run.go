@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"unclean/internal/obs"
+)
 
 // IDs lists the paper-artifact experiment identifiers in paper order.
 func IDs() []string {
@@ -13,8 +17,12 @@ func ExtraIDs() []string {
 	return []string{"locality", "tracker", "overlap", "fig1d"}
 }
 
-// Run executes one experiment by ID against a dataset.
+// Run executes one experiment by ID against a dataset. Every execution
+// is timed as a span named experiment/<id> on the process default
+// trace; drivers render obs.DefaultTrace().Table() for the per-run
+// stage-timing table.
 func Run(ds *Dataset, id string) (Result, error) {
+	defer obs.StartSpan("experiment/" + id).End()
 	switch id {
 	case "table1":
 		return Table1(ds), nil

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: unclean/internal/ipset
+cpu: AMD EPYC 7B13
+BenchmarkSampleBlocks-4   	   39122	     29012 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSortRadix-4      	    5000	    240111 ns/op
+PASS
+ok  	unclean/internal/ipset	2.301s
+pkg: unclean/internal/dnsbl
+BenchmarkServeOne-4       	  850000	      1405 ns/op	      12 B/op	       1 allocs/op
+PASS
+ok  	unclean/internal/dnsbl	1.120s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	sb := doc.Benchmarks[0]
+	if sb.Name != "BenchmarkSampleBlocks" || sb.Procs != 4 ||
+		sb.Package != "unclean/internal/ipset" || sb.Iterations != 39122 {
+		t.Errorf("first result wrong: %+v", sb)
+	}
+	if sb.Metrics["ns/op"] != 29012 || sb.Metrics["allocs/op"] != 0 {
+		t.Errorf("first metrics wrong: %v", sb.Metrics)
+	}
+	if allocs, ok := sb.Metrics["allocs/op"]; !ok || allocs != 0 {
+		t.Errorf("allocs/op missing or nonzero: %v ok=%v", allocs, ok)
+	}
+	last := doc.Benchmarks[2]
+	if last.Package != "unclean/internal/dnsbl" || last.Metrics["B/op"] != 12 {
+		t.Errorf("pkg tracking across blocks broken: %+v", last)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := parse(strings.NewReader("PASS\nok \tx\t1s\nnot a bench\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed noise as results: %+v", doc.Benchmarks)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Exposition: the same registry contents rendered two ways — the
+// Prometheus text format for scrapers, and a JSON snapshot (with
+// precomputed p50/p95/p99) for humans with curl and for tests.
+
+// WriteText renders the metrics of regs in the Prometheus text
+// exposition format, merged and sorted by series name. Metrics sharing
+// a base name (same series, different labels) are grouped under one
+// HELP/TYPE header.
+func WriteText(w io.Writer, regs ...*Registry) error {
+	lastName := ""
+	for _, m := range merged(regs) {
+		if m.Name != lastName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *Metric) error {
+	switch m.Kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.FullName(), m.c.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.FullName(), m.g.Value())
+		return err
+	case KindHistogram:
+		return writeHistogram(w, m)
+	}
+	return nil
+}
+
+// writeHistogram renders cumulative le-buckets (seconds), sum, and
+// count. Buckets above the highest populated one are elided; the +Inf
+// bucket always appears.
+func writeHistogram(w io.Writer, m *Metric) error {
+	h := m.h
+	var counts [histBuckets]uint64
+	top := -1
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= top && i < histBuckets-1; i++ {
+		cum += counts[i]
+		le := strconv.FormatFloat(float64(bucketUpper(i))/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+			m.Name, renderLabels(m.labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if top == histBuckets-1 {
+		cum += counts[histBuckets-1]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+		m.Name, renderLabels(m.labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(h.Sum().Seconds(), 'g', -1, 64)
+	suffix := ""
+	if len(m.labels) > 0 {
+		suffix = "{" + renderLabels(m.labels, "", "") + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, suffix, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, suffix, h.Count())
+	return err
+}
+
+// jsonMetric is the wire form of one metric in the JSON snapshot.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  *int64            `json:"value,omitempty"`
+
+	Count      *uint64  `json:"count,omitempty"`
+	SumSecs    *float64 `json:"sum_seconds,omitempty"`
+	P50Seconds *float64 `json:"p50_seconds,omitempty"`
+	P95Seconds *float64 `json:"p95_seconds,omitempty"`
+	P99Seconds *float64 `json:"p99_seconds,omitempty"`
+}
+
+// WriteJSON renders the metrics of regs as a JSON document:
+// {"metrics":[...]} with histogram quantiles precomputed.
+func WriteJSON(w io.Writer, regs ...*Registry) error {
+	metrics := merged(regs)
+	out := struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}{Metrics: make([]jsonMetric, 0, len(metrics))}
+	for _, m := range metrics {
+		jm := jsonMetric{Name: m.Name, Labels: m.Labels(), Kind: m.Kind.String()}
+		switch m.Kind {
+		case KindCounter:
+			v := int64(m.c.Value())
+			jm.Value = &v
+		case KindGauge:
+			v := m.g.Value()
+			jm.Value = &v
+		case KindHistogram:
+			s := m.h.Snapshot()
+			sum, p50, p95, p99 := s.Sum.Seconds(), s.P50.Seconds(), s.P95.Seconds(), s.P99.Seconds()
+			jm.Count, jm.SumSecs = &s.Count, &sum
+			jm.P50Seconds, jm.P95Seconds, jm.P99Seconds = &p50, &p95, &p99
+		}
+		out.Metrics = append(out.Metrics, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// merged collects and re-sorts the metrics of several registries.
+func merged(regs []*Registry) []*Metric {
+	var all []*Metric
+	for _, r := range regs {
+		all = append(all, r.Metrics()...)
+	}
+	// Each registry is sorted; a simple stable re-sort merges them.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && less(all[j], all[j-1]); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	return all
+}
+
+func less(a, b *Metric) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.FullName() < b.FullName()
+}
+
+// Handler serves the merged registries: the Prometheus text format by
+// default, the JSON snapshot when the request path ends in ".json".
+// Mount it at both /metrics and /metrics.json.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, ".json") {
+			w.Header().Set("Content-Type", "application/json")
+			WriteJSON(w, regs...) //nolint:errcheck // client went away
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteText(w, regs...) //nolint:errcheck // client went away
+	})
+}

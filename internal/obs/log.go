@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// Structured logging. Every component gets its logger through
+// Logger("name"), which stamps a component attribute on each record.
+// The backing handler is process-global and swappable at runtime
+// (SetLogOutput), so a test can capture a component's output even after
+// the component cached its logger: loggers hold a dynamic handler that
+// resolves the current base handler per record.
+//
+// Environment defaults: UNCLEAN_LOG_FORMAT=json switches from text to
+// JSON records; UNCLEAN_LOG_LEVEL=debug|info|warn|error sets the
+// threshold (default info).
+
+var baseHandler atomic.Pointer[slog.Handler]
+
+func init() {
+	format := os.Getenv("UNCLEAN_LOG_FORMAT")
+	level := parseLevel(os.Getenv("UNCLEAN_LOG_LEVEL"))
+	SetLogOutput(os.Stderr, strings.EqualFold(format, "json"), level)
+}
+
+func parseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}
+
+// SetLogOutput replaces the process-global log sink. All loggers
+// previously returned by Logger pick up the new sink immediately.
+func SetLogOutput(w io.Writer, jsonFormat bool, level slog.Level) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	baseHandler.Store(&h)
+}
+
+// Logger returns a structured logger stamped with component=name.
+func Logger(component string) *slog.Logger {
+	return slog.New(dynHandler{}).With(slog.String("component", component))
+}
+
+// logOp is one recorded WithAttrs/WithGroup call, replayed against the
+// current base handler at Handle time.
+type logOp struct {
+	attrs []slog.Attr // nil means group
+	group string
+}
+
+// dynHandler is a slog.Handler that resolves the process-global base
+// handler per record, replaying any accumulated WithAttrs/WithGroup
+// calls so attribute context survives a SetLogOutput swap.
+type dynHandler struct {
+	ops []logOp
+}
+
+func (d dynHandler) resolve() slog.Handler {
+	h := *baseHandler.Load()
+	for _, op := range d.ops {
+		if op.attrs != nil {
+			h = h.WithAttrs(op.attrs)
+		} else {
+			h = h.WithGroup(op.group)
+		}
+	}
+	return h
+}
+
+func (d dynHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return (*baseHandler.Load()).Enabled(ctx, level)
+}
+
+func (d dynHandler) Handle(ctx context.Context, r slog.Record) error {
+	return d.resolve().Handle(ctx, r)
+}
+
+func (d dynHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return d
+	}
+	ops := make([]logOp, len(d.ops), len(d.ops)+1)
+	copy(ops, d.ops)
+	return dynHandler{ops: append(ops, logOp{attrs: attrs})}
+}
+
+func (d dynHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return d
+	}
+	ops := make([]logOp, len(d.ops), len(d.ops)+1)
+	copy(ops, d.ops)
+	return dynHandler{ops: append(ops, logOp{group: name})}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"strings"
+	"testing"
+)
+
+// restoreStderrLogging puts the default sink back after a capture test.
+func restoreStderrLogging() { SetLogOutput(os.Stderr, false, slog.LevelInfo) }
+
+func TestLoggerStampsComponent(t *testing.T) {
+	defer restoreStderrLogging()
+	var buf bytes.Buffer
+	SetLogOutput(&buf, true, slog.LevelInfo)
+	Logger("tracker").Info("checkpoint saved", "blocks", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log record not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if rec["component"] != "tracker" || rec["msg"] != "checkpoint saved" || rec["blocks"] != float64(7) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestSinkSwapReachesCachedLoggers(t *testing.T) {
+	defer restoreStderrLogging()
+	log := Logger("dnsbld").With("zone", "bl.example")
+	var buf bytes.Buffer
+	SetLogOutput(&buf, false, slog.LevelDebug)
+	log.Debug("reloaded")
+	out := buf.String()
+	if !strings.Contains(out, "component=dnsbld") || !strings.Contains(out, "zone=bl.example") {
+		t.Fatalf("cached logger missed sink swap: %q", out)
+	}
+}
+
+func TestLevelThreshold(t *testing.T) {
+	defer restoreStderrLogging()
+	var buf bytes.Buffer
+	SetLogOutput(&buf, false, slog.LevelWarn)
+	Logger("x").Info("quiet")
+	if buf.Len() != 0 {
+		t.Fatalf("info logged below threshold: %q", buf.String())
+	}
+	Logger("x").Warn("loud")
+	if buf.Len() == 0 {
+		t.Fatal("warn suppressed")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "WARN": slog.LevelWarn,
+		"error": slog.LevelError, "": slog.LevelInfo, "junk": slog.LevelInfo,
+	} {
+		if got := parseLevel(in); got != want {
+			t.Errorf("parseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package obs is the repository's zero-external-dependency
+// observability layer: an atomic metrics registry (counters, gauges,
+// log₂-bucketed latency histograms), Prometheus-text and JSON
+// exposition handlers, slog-based per-component structured logging, and
+// a lightweight span tracer for stage timings.
+//
+// Everything on the hot path is allocation-free: a Counter is one
+// atomic word, a Histogram.Observe is two atomic adds plus one indexed
+// atomic add, and neither takes a lock. Registration (the cold path)
+// uses get-or-create semantics keyed by name+labels, so independent
+// packages can share a metric by naming it identically in the Default
+// registry, while components that need isolated counters (one DNSBL
+// server among several in a test binary) hold their own Registry.
+//
+// Naming follows the Prometheus conventions: `unclean_<component>_
+// <what>_<unit>`, counters suffixed `_total`, durations in `_seconds`.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; use by pointer only.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is usable;
+// use by pointer only.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of a Histogram. Bucket 0 holds
+// zero-duration observations; bucket i (1 ≤ i < histBuckets-1) holds
+// durations in [2^(i-1), 2^i) nanoseconds; the last bucket holds
+// everything from 2^(histBuckets-2) ns (≈ 4.6 minutes) up.
+const histBuckets = 40
+
+// Histogram is a log₂-bucketed duration histogram. Observe is
+// allocation-free and lock-free; quantile snapshots are computed at
+// scrape time by linear interpolation inside the matched power-of-two
+// bucket. The zero value is usable; use by pointer only.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// bucketUpper returns the exclusive upper bound of bucket i in
+// nanoseconds (the last bucket has no bound and returns 0).
+func bucketUpper(i int) uint64 {
+	if i >= histBuckets-1 {
+		return 0
+	}
+	return uint64(1) << uint(i)
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of the observed
+// durations, interpolated within the matched bucket. With no
+// observations it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [histBuckets]uint64
+	total := uint64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(i-1))
+			hi := 2 * lo
+			if i == histBuckets-1 {
+				return time.Duration(lo) // unbounded tail: report its floor
+			}
+			frac := (target - cum) / float64(c)
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return time.Duration(uint64(1) << uint(histBuckets-2))
+}
+
+// HistSnapshot is a point-in-time quantile summary of a Histogram.
+type HistSnapshot struct {
+	Count         uint64
+	Sum           time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Snapshot summarizes the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

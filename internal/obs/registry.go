@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the metric types a registry holds.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Metric is one registered metric plus its exposition metadata.
+type Metric struct {
+	// Name is the base metric name (no labels).
+	Name string
+	// Help is the one-line description exposed as # HELP.
+	Help string
+	// Kind selects which of the value fields is populated.
+	Kind Kind
+
+	labels []string // alternating key, value pairs, escaped at render
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// FullName renders the Prometheus series name: name{k="v",...}.
+func (m *Metric) FullName() string {
+	if len(m.labels) == 0 {
+		return m.Name
+	}
+	var b strings.Builder
+	b.WriteString(m.Name)
+	b.WriteByte('{')
+	b.WriteString(renderLabels(m.labels, "", ""))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Labels returns the label pairs as a map (nil when unlabeled).
+func (m *Metric) Labels() map[string]string {
+	if len(m.labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(m.labels)/2)
+	for i := 0; i+1 < len(m.labels); i += 2 {
+		out[m.labels[i]] = m.labels[i+1]
+	}
+	return out
+}
+
+// renderLabels renders alternating k,v pairs as `k="v",...`, appending
+// one extra pair when extraK is nonempty (used for histogram le labels).
+func renderLabels(pairs []string, extraK, extraV string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry is a set of named metrics. Lookup is get-or-create: asking
+// for the same name+labels twice returns the same metric, so packages
+// can share series without plumbing. All methods are safe for
+// concurrent use; the returned metric pointers are the hot-path handles
+// and never require the registry again.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*Metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*Metric)}
+}
+
+// defaultRegistry backs Default(). Process-wide singletons (retry
+// attempts, checkpoint CRC failures, feed lag) live here.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name and the optional
+// alternating label key/value pairs, creating it on first use. It
+// panics if the series exists with a different kind or the label list
+// has odd length — both programmer errors.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	m := r.lookup(name, help, KindCounter, labels)
+	return m.c
+}
+
+// Gauge is Counter for gauges.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	m := r.lookup(name, help, KindGauge, labels)
+	return m.g
+}
+
+// Histogram is Counter for histograms.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	m := r.lookup(name, help, KindHistogram, labels)
+	return m.h
+}
+
+func (r *Registry) lookup(name, help string, kind Kind, labels []string) *Metric {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: odd label list %q", name, labels))
+	}
+	key := name + "\x00" + strings.Join(labels, "\x00")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.Kind != kind {
+			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, m.Kind, kind))
+		}
+		return m
+	}
+	m := &Metric{Name: name, Help: help, Kind: kind, labels: append([]string(nil), labels...)}
+	switch kind {
+	case KindCounter:
+		m.c = new(Counter)
+	case KindGauge:
+		m.g = new(Gauge)
+	case KindHistogram:
+		m.h = new(Histogram)
+	}
+	r.byKey[key] = m
+	return m
+}
+
+// Metrics returns the registered metrics sorted by full series name —
+// the stable order the exposition formats use.
+func (r *Registry) Metrics() []*Metric {
+	r.mu.Lock()
+	out := make([]*Metric, 0, len(r.byKey))
+	for _, m := range r.byKey {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].FullName() < out[j].FullName()
+	})
+	return out
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "ignored on second lookup")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	la := r.Counter("x_total", "h", "zone", "a")
+	lb := r.Counter("x_total", "h", "zone", "b")
+	if la == lb || la == a {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+	la.Add(3)
+	if r.Counter("x_total", "h", "zone", "a").Value() != 3 {
+		t.Fatal("labeled lookup did not return the live counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge lookup of a counter name did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list did not panic")
+		}
+	}()
+	r.Counter("m", "h", "k")
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if v := g.Value(); v != 3 {
+		t.Fatalf("gauge = %d, want 3", v)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not zero")
+	}
+	// 100 observations spread uniformly over [1ms, 100ms].
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	// Log2 buckets are coarse: accept a factor-of-two band around truth.
+	if p50 < 25*time.Millisecond || p50 > 100*time.Millisecond {
+		t.Errorf("p50 = %v, want ≈50ms within a bucket", p50)
+	}
+	if p99 < 64*time.Millisecond || p99 > 200*time.Millisecond {
+		t.Errorf("p99 = %v, want ≈99ms within a bucket", p99)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+	if h.Sum() != 5050*time.Millisecond {
+		t.Errorf("sum = %v, want 5.05s", h.Sum())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // counts as zero
+	h.Observe(0)
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("all-zero histogram p100 = %v", got)
+	}
+	var tail Histogram
+	tail.Observe(10 * time.Hour) // beyond the last bounded bucket
+	if got := tail.Quantile(0.5); got < 4*time.Minute {
+		t.Fatalf("unbounded-tail quantile = %v, want the tail floor", got)
+	}
+	s := tail.Snapshot()
+	if s.Count != 1 || s.Sum != 10*time.Hour {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

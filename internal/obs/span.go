@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span tracing. A Trace aggregates named stages: each StartSpan/End
+// pair adds one timed observation to its stage, and Table renders the
+// per-run stage-timing table (count, total, mean, min, max). Spans are
+// value types — starting one is a clock read, ending one is a short
+// mutex-protected aggregation — so they are cheap enough to wrap every
+// pipeline stage, but are not meant for per-packet hot paths (use a
+// Histogram there).
+
+// Trace aggregates span timings by stage name. Safe for concurrent use.
+type Trace struct {
+	mu    sync.Mutex
+	order []string
+	agg   map[string]*stageAgg
+}
+
+type stageAgg struct {
+	count    uint64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// NewTrace builds an empty trace.
+func NewTrace() *Trace { return &Trace{agg: make(map[string]*stageAgg)} }
+
+// defaultTrace backs the package-level StartSpan.
+var defaultTrace = NewTrace()
+
+// DefaultTrace returns the process-wide trace.
+func DefaultTrace() *Trace { return defaultTrace }
+
+// Span is one in-flight timed stage. End it exactly once.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan starts a span on the process-wide trace.
+func StartSpan(name string) Span { return defaultTrace.Start(name) }
+
+// Start begins timing one execution of the named stage.
+func (t *Trace) Start(name string) Span {
+	return Span{tr: t, name: name, start: time.Now()}
+}
+
+// End stops the span and folds its duration into the trace, returning
+// the measured duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	t := s.tr
+	if t == nil {
+		return d
+	}
+	t.mu.Lock()
+	a, ok := t.agg[s.name]
+	if !ok {
+		a = &stageAgg{min: d, max: d}
+		t.agg[s.name] = a
+		t.order = append(t.order, s.name)
+	}
+	a.count++
+	a.total += d
+	if d < a.min {
+		a.min = d
+	}
+	if d > a.max {
+		a.max = d
+	}
+	t.mu.Unlock()
+	return d
+}
+
+// StageTiming is the aggregated timing of one stage.
+type StageTiming struct {
+	Name           string
+	Count          uint64
+	Total          time.Duration
+	Mean, Min, Max time.Duration
+}
+
+// Stages returns the aggregated stage timings in first-seen order.
+func (t *Trace) Stages() []StageTiming {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageTiming, 0, len(t.order))
+	for _, name := range t.order {
+		a := t.agg[name]
+		out = append(out, StageTiming{
+			Name:  name,
+			Count: a.count,
+			Total: a.total,
+			Mean:  a.total / time.Duration(a.count),
+			Min:   a.min,
+			Max:   a.max,
+		})
+	}
+	return out
+}
+
+// Reset discards all aggregated stages.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.order = t.order[:0]
+	t.agg = make(map[string]*stageAgg)
+	t.mu.Unlock()
+}
+
+// Table renders the stage timings as an aligned text table, slowest
+// total first; empty traces render as the empty string.
+func (t *Trace) Table() string {
+	stages := t.Stages()
+	if len(stages) == 0 {
+		return ""
+	}
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].Total > stages[j].Total })
+	rows := make([][5]string, 0, len(stages)+1)
+	rows = append(rows, [5]string{"stage", "count", "total", "mean", "max"})
+	for _, s := range stages {
+		rows = append(rows, [5]string{
+			s.Name,
+			fmt.Sprintf("%d", s.Count),
+			s.Total.Round(10 * time.Microsecond).String(),
+			s.Mean.Round(10 * time.Microsecond).String(),
+			s.Max.Round(10 * time.Microsecond).String(),
+		})
+	}
+	var widths [5]int
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		for i, cell := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceAggregates(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("ingest")
+		time.Sleep(time.Millisecond)
+		if d := sp.End(); d <= 0 {
+			t.Fatalf("span duration %v", d)
+		}
+	}
+	tr.Start("compile").End()
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	if stages[0].Name != "ingest" || stages[0].Count != 3 {
+		t.Fatalf("first stage = %+v", stages[0])
+	}
+	if stages[0].Mean < stages[0].Min || stages[0].Mean > stages[0].Max {
+		t.Fatalf("mean outside [min, max]: %+v", stages[0])
+	}
+	tbl := tr.Table()
+	for _, want := range []string{"stage", "ingest", "compile", "count"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	tr.Reset()
+	if tr.Table() != "" {
+		t.Error("reset trace still renders a table")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Start("stage").End()
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Stages()
+	if len(st) != 1 || st[0].Count != 800 {
+		t.Fatalf("stages = %+v, want one stage with 800 spans", st)
+	}
+}
+
+func TestEndedZeroSpanIsSafe(t *testing.T) {
+	var sp Span // no trace attached
+	if d := sp.End(); d < 0 {
+		t.Fatal("zero span negative duration")
+	}
+}

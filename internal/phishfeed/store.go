@@ -5,9 +5,24 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"unclean/internal/atomicfile"
+	"unclean/internal/obs"
 	"unclean/internal/retry"
+)
+
+// Phish-feed ingestion telemetry (obs default registry); the lag
+// convention matches the report feed: lag = time() - last_success.
+var (
+	mFeedLoads = obs.Default().Counter("unclean_phishfeed_loads_total",
+		"Successful phishing-feed ingestions.")
+	mFeedRejects = obs.Default().Counter("unclean_phishfeed_rejects_total",
+		"Phishing-feed ingestion attempts rejected (unreadable or malformed).")
+	mFeedIncidents = obs.Default().Counter("unclean_phishfeed_incidents_total",
+		"Incidents ingested across all successful feed loads.")
+	mFeedLastSuccess = obs.Default().Gauge("unclean_phishfeed_last_success_unix_seconds",
+		"Wall-clock time of the last successful feed ingestion (0 until one succeeds).")
 )
 
 // Durable feed files and fault-tolerant ingestion. Feeds arrive from
@@ -47,19 +62,27 @@ func ReadRetry(ctx context.Context, p retry.Policy, open func() (io.ReadCloser, 
 	err := retry.Do(ctx, p, func() error {
 		rc, err := open()
 		if err != nil {
+			mFeedRejects.Inc()
 			return err
 		}
 		defer rc.Close()
 		data, err := io.ReadAll(rc)
 		if err != nil {
+			mFeedRejects.Inc()
 			return err // source may heal: retryable
 		}
 		f, err := Read(bytes.NewReader(data))
 		if err != nil {
+			mFeedRejects.Inc()
 			return retry.Permanent(err)
 		}
 		feed = f
 		return nil
 	})
+	if err == nil && feed != nil {
+		mFeedLoads.Inc()
+		mFeedIncidents.Add(uint64(feed.Len()))
+		mFeedLastSuccess.Set(time.Now().Unix())
+	}
 	return feed, err
 }

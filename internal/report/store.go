@@ -8,9 +8,29 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"unclean/internal/atomicfile"
+	"unclean/internal/obs"
 	"unclean/internal/retry"
+)
+
+// Feed-ingestion telemetry (obs default registry). The lag convention:
+// unclean_feed_last_success_unix_seconds holds the wall-clock second of
+// the last successful directory load, so feed lag at scrape time is
+// time() minus that gauge — the longitudinal feed-latency signal the
+// blacklist-evaluation literature keys on.
+var (
+	mFeedLoads = obs.Default().Counter("unclean_feed_loads_total",
+		"Successful report-directory loads.")
+	mFeedRejects = obs.Default().Counter("unclean_feed_rejects_total",
+		"Report-directory load attempts rejected (missing, torn, or corrupt files).")
+	mFeedReports = obs.Default().Counter("unclean_feed_reports_total",
+		"Report files ingested across all successful loads.")
+	mFeedAddrs = obs.Default().Counter("unclean_feed_addresses_total",
+		"Addresses ingested across all successful loads.")
+	mFeedLastSuccess = obs.Default().Gauge("unclean_feed_last_success_unix_seconds",
+		"Wall-clock time of the last successful feed load (0 until one succeeds).")
 )
 
 // Ext is the file extension report files use on disk.
@@ -45,6 +65,23 @@ func (inv *Inventory) SaveDir(dir string) error {
 // filename. Files carrying a CRC trailer are verified against it. Files
 // that fail to parse abort the load with a path-tagged error.
 func LoadDir(dir string) (*Inventory, error) {
+	inv, err := loadDir(dir)
+	if err != nil {
+		mFeedRejects.Inc()
+		return nil, err
+	}
+	mFeedLoads.Inc()
+	mFeedReports.Add(uint64(len(inv.Reports)))
+	total := 0
+	for _, r := range inv.Reports {
+		total += r.Size()
+	}
+	mFeedAddrs.Add(uint64(total))
+	mFeedLastSuccess.Set(time.Now().Unix())
+	return inv, nil
+}
+
+func loadDir(dir string) (*Inventory, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err

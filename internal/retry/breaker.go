@@ -4,6 +4,18 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"unclean/internal/obs"
+)
+
+// Breaker telemetry: trips and closes are rare, load-bearing events, so
+// they are both counted (obs default registry) and logged structurally.
+var (
+	mTrips = obs.Default().Counter("unclean_breaker_trips_total",
+		"Circuit-breaker openings (including re-opens after a failed half-open probe).")
+	mCloses = obs.Default().Counter("unclean_breaker_closes_total",
+		"Circuit-breaker closings after a successful probe.")
+	breakerLog = obs.Logger("breaker")
 )
 
 // ErrOpen is returned by Breaker.Do while the circuit is open: the
@@ -58,18 +70,32 @@ func (b *Breaker) Allow() bool {
 
 // Record feeds an operation outcome to the breaker: nil resets the
 // consecutive-failure count and closes the circuit; an error counts
-// toward (or re-arms) opening it.
+// toward (or re-arms) opening it. State changes are counted and logged
+// as structured events — a breaker transition is exactly the moment an
+// operator wants on a timeline.
 func (b *Breaker) Record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	wasOpen := !b.openUntil.IsZero()
 	if err == nil {
 		b.failures = 0
 		b.openUntil = time.Time{}
+		if wasOpen {
+			mCloses.Inc()
+			breakerLog.Info("circuit closed")
+		}
 		return
 	}
 	b.failures++
 	if b.failures >= b.threshold {
 		b.openUntil = b.now().Add(b.cooldown)
+		// Count the closed→open edge and every re-open after a failed
+		// half-open probe, but not repeated failures while already open.
+		if !wasOpen || b.failures > b.threshold {
+			mTrips.Inc()
+			breakerLog.Warn("circuit opened",
+				"failures", b.failures, "cooldown", b.cooldown)
+		}
 	}
 }
 

@@ -16,7 +16,19 @@ import (
 	"sync"
 	"time"
 
+	"unclean/internal/obs"
 	"unclean/internal/stats"
+)
+
+// Process-wide retry telemetry, shared with the /metrics exposition
+// through the obs default registry.
+var (
+	mAttempts = obs.Default().Counter("unclean_retry_attempts_total",
+		"Operation attempts made under a retry policy (first tries included).")
+	mRetries = obs.Default().Counter("unclean_retry_retries_total",
+		"Attempts beyond the first (i.e. actual retries).")
+	mGiveups = obs.Default().Counter("unclean_retry_giveups_total",
+		"Operations abandoned after exhausting their attempt budget.")
 )
 
 // Policy parameterizes Do. The zero value is usable: it means "one
@@ -93,6 +105,10 @@ func Do(ctx context.Context, p Policy, op func() error) error {
 		if err = ctx.Err(); err != nil {
 			return err
 		}
+		mAttempts.Inc()
+		if attempt > 1 {
+			mRetries.Inc()
+		}
 		err = op()
 		if err == nil {
 			return nil
@@ -102,6 +118,7 @@ func Do(ctx context.Context, p Policy, op func() error) error {
 			return perm.err
 		}
 		if attempt >= attempts {
+			mGiveups.Inc()
 			if attempts > 1 {
 				return fmt.Errorf("retry: %d attempts: %w", attempts, err)
 			}

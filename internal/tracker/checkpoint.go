@@ -3,8 +3,23 @@ package tracker
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"unclean/internal/atomicfile"
+	"unclean/internal/obs"
+)
+
+// Tracker checkpoint telemetry (obs default registry). atomicfile
+// already times the raw write; these add the tracker-level view —
+// serialize+write and read+parse durations plus the fallback where the
+// primary verified its CRC but did not parse.
+var (
+	mSaveSeconds = obs.Default().Histogram("unclean_tracker_checkpoint_save_seconds",
+		"Duration of tracker checkpoint saves (serialize through durable write).")
+	mLoadSeconds = obs.Default().Histogram("unclean_tracker_checkpoint_load_seconds",
+		"Duration of tracker checkpoint loads (read through parse).")
+	mParseRecoveries = obs.Default().Counter("unclean_checkpoint_prev_recoveries_total",
+		"Checkpoint loads that fell back to the .prev generation.")
 )
 
 // Crash-safe checkpoint files (format v2). SaveFile renders the v1 text
@@ -25,6 +40,7 @@ func (t *Tracker) SaveFile(path string) error {
 
 // saveFileHook is the fault-injection seam the chaos tests drive.
 func (t *Tracker) saveFileHook(path string, hook atomicfile.Hook) error {
+	start := time.Now()
 	var buf bytes.Buffer
 	if err := t.Save(&buf); err != nil {
 		return fmt.Errorf("tracker: checkpoint %s: %w", path, err)
@@ -32,12 +48,14 @@ func (t *Tracker) saveFileHook(path string, hook atomicfile.Hook) error {
 	if err := atomicfile.WriteCheckpointHook(path, buf.Bytes(), hook); err != nil {
 		return fmt.Errorf("tracker: checkpoint %s: %w", path, err)
 	}
+	mSaveSeconds.Observe(time.Since(start))
 	return nil
 }
 
 // LoadFile reconstructs a tracker from the newest valid checkpoint at
 // path: the file itself if it verifies, else its .prev generation.
 func LoadFile(path string) (*Tracker, error) {
+	start := time.Now()
 	data, err := atomicfile.LoadCheckpoint(path)
 	if err != nil {
 		return nil, err
@@ -49,10 +67,15 @@ func LoadFile(path string) (*Tracker, error) {
 		// last resort.
 		if prev, perr := atomicfile.ReadFile(path + atomicfile.PrevSuffix); perr == nil {
 			if tp, perr := Load(bytes.NewReader(prev)); perr == nil {
+				mParseRecoveries.Inc()
+				obs.Logger("tracker").Warn("recovered previous checkpoint generation",
+					"path", path, "error", err)
+				mLoadSeconds.Observe(time.Since(start))
 				return tp, nil
 			}
 		}
 		return nil, err
 	}
+	mLoadSeconds.Observe(time.Since(start))
 	return t, nil
 }
