@@ -3,15 +3,24 @@
 //
 // Usage:
 //
-//	flowcat [-src CIDR] [-dst CIDR] [-proto N] [-payload] [-count] FILE...
+//	flowcat [-src CIDR] [-dst CIDR] [-proto N] [-payload] [-block FILE [-eval]] [-count] FILE...
+//
+// With -block FILE the archive is matched against a compiled CIDR
+// blocklist (one block per line, optional reason after whitespace, #
+// comments): by default only flows from blocked sources are emitted;
+// with -eval the whole archive is streamed through the blocklist
+// evaluation engine and a virtual-blocking summary is printed instead.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"unclean/internal/blocklist"
 	"unclean/internal/netaddr"
 	"unclean/internal/netflow"
 	"unclean/internal/obs"
@@ -32,6 +41,9 @@ type filter struct {
 	src, dst    *netaddr.Block
 	proto       int
 	payloadOnly bool
+	// blocked, when set, keeps only flows whose source the compiled
+	// blocklist matches (ignored in -eval mode, which scores both sides).
+	blocked *blocklist.Matcher
 }
 
 func (f *filter) match(r *netflow.Record) bool {
@@ -47,8 +59,49 @@ func (f *filter) match(r *netflow.Record) bool {
 	if f.payloadOnly && !r.PayloadBearing() {
 		return false
 	}
+	if f.blocked != nil && !f.blocked.Blocks(r.SrcAddr) {
+		return false
+	}
 	return true
 }
+
+// loadBlocklist parses a CIDR-per-line blocklist file: "BLOCK [reason]",
+// blank lines and # comments ignored.
+func loadBlocklist(path string) (*blocklist.Trie, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	tr := &blocklist.Trie{}
+	sc := bufio.NewScanner(file)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		b, err := netaddr.ParseBlock(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		reason := "listed"
+		if len(fields) > 1 {
+			reason = strings.Join(fields[1:], " ")
+		}
+		tr.Insert(b, reason)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// evalChunk is the record batch size the -eval mode streams through the
+// evaluator; the archive is never materialized.
+const evalChunk = 8192
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("flowcat", flag.ContinueOnError)
@@ -57,6 +110,8 @@ func run(args []string, out io.Writer) error {
 	proto := fs.Int("proto", -1, "only flows with this IP protocol (6=TCP, 17=UDP)")
 	payload := fs.Bool("payload", false, "only payload-bearing flows")
 	count := fs.Bool("count", false, "print only the matching record count")
+	blockFile := fs.String("block", "", "CIDR blocklist file; emit only flows from blocked sources")
+	eval := fs.Bool("eval", false, "with -block: stream the archive through the evaluation engine and print a blocking summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,21 +135,76 @@ func run(args []string, out io.Writer) error {
 		}
 		f.dst = &b
 	}
-	matched := 0
-	for _, path := range fs.Args() {
-		before := matched
-		if err := catFile(path, &f, *count, &matched, out); err != nil {
+	s := sink{countOnly: *count, out: out}
+	if *blockFile != "" {
+		tr, err := loadBlocklist(*blockFile)
+		if err != nil {
 			return err
 		}
-		logger.Debug("archive read", "path", path, "matched", matched-before)
+		m := blocklist.Compile(tr)
+		logger.Debug("blocklist compiled", "rules", m.Len(), "shortPrefixRules", m.ShortPrefixRules())
+		if *eval {
+			s.ev = blocklist.NewEvaluator(m)
+		} else {
+			f.blocked = m
+		}
+	} else if *eval {
+		return fmt.Errorf("-eval requires -block FILE")
+	}
+	for _, path := range fs.Args() {
+		before := s.matched
+		if err := catFile(path, &f, &s); err != nil {
+			return err
+		}
+		logger.Debug("archive read", "path", path, "matched", s.matched-before)
+	}
+	s.flush()
+	if s.ev != nil {
+		e := s.ev.Result()
+		fmt.Fprintf(out, "flows: blocked=%d passed=%d payload-blocked=%d\n",
+			e.FlowsBlocked, e.FlowsPassed, e.PayloadBlocked)
+		fmt.Fprintf(out, "sources: blocked=%d passed=%d\n",
+			e.BlockedSources.Len(), e.PassedSources.Len())
+		return nil
 	}
 	if *count {
-		fmt.Fprintln(out, matched)
+		fmt.Fprintln(out, s.matched)
 	}
 	return nil
 }
 
-func catFile(path string, f *filter, countOnly bool, matched *int, out io.Writer) error {
+// sink consumes matching records: printing them, counting them, or
+// batching them through the streaming evaluator.
+type sink struct {
+	countOnly bool
+	matched   int
+	out       io.Writer
+	ev        *blocklist.Evaluator
+	buf       []netflow.Record
+}
+
+func (s *sink) consume(rec netflow.Record) {
+	s.matched++
+	if s.ev != nil {
+		s.buf = append(s.buf, rec)
+		if len(s.buf) >= evalChunk {
+			s.flush()
+		}
+		return
+	}
+	if !s.countOnly {
+		fmt.Fprintln(s.out, rec.String())
+	}
+}
+
+func (s *sink) flush() {
+	if s.ev != nil && len(s.buf) > 0 {
+		s.ev.Consume(s.buf)
+		s.buf = s.buf[:0]
+	}
+}
+
+func catFile(path string, f *filter, s *sink) error {
 	file, err := os.Open(path)
 	if err != nil {
 		return err
@@ -112,9 +222,6 @@ func catFile(path string, f *filter, countOnly bool, matched *int, out io.Writer
 		if !f.match(&rec) {
 			continue
 		}
-		*matched++
-		if !countOnly {
-			fmt.Fprintln(out, rec.String())
-		}
+		s.consume(rec)
 	}
 }

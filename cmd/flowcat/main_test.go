@@ -128,3 +128,61 @@ func TestFlowcatErrors(t *testing.T) {
 		t.Error("truncated archive accepted")
 	}
 }
+
+func writeBlocklist(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlowcatBlockFilter(t *testing.T) {
+	archive := writeArchive(t)
+	rules := writeBlocklist(t, "# bots seen in october\n10.1.1.0/24 bot\n")
+	var out strings.Builder
+	if err := run([]string{"-block", rules, archive}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "10.1.1.1") || !strings.Contains(got, "10.1.1.2") {
+		t.Fatalf("blocked sources missing from output:\n%s", got)
+	}
+	if strings.Contains(got, "99.9.9.9") {
+		t.Fatalf("unblocked source leaked into -block output:\n%s", got)
+	}
+}
+
+func TestFlowcatEval(t *testing.T) {
+	archive := writeArchive(t)
+	rules := writeBlocklist(t, "10.1.1.0/24 bot\n")
+	var out strings.Builder
+	if err := run([]string{"-block", rules, "-eval", archive}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "flows: blocked=2 passed=1 payload-blocked=1") {
+		t.Fatalf("unexpected eval summary:\n%s", got)
+	}
+	if !strings.Contains(got, "sources: blocked=2 passed=1") {
+		t.Fatalf("unexpected source summary:\n%s", got)
+	}
+}
+
+func TestFlowcatEvalRequiresBlock(t *testing.T) {
+	archive := writeArchive(t)
+	var out strings.Builder
+	if err := run([]string{"-eval", archive}, &out); err == nil {
+		t.Fatal("-eval without -block accepted")
+	}
+}
+
+func TestFlowcatBadBlocklist(t *testing.T) {
+	archive := writeArchive(t)
+	rules := writeBlocklist(t, "not-a-cidr\n")
+	var out strings.Builder
+	if err := run([]string{"-block", rules, archive}, &out); err == nil {
+		t.Fatal("malformed blocklist accepted")
+	}
+}

@@ -18,11 +18,13 @@ import (
 	"strings"
 	"time"
 
+	"unclean/internal/blocklist"
 	"unclean/internal/core"
 	"unclean/internal/experiments"
 	"unclean/internal/netflow"
 	"unclean/internal/obs"
 	"unclean/internal/report"
+	"unclean/internal/simnet"
 )
 
 func main() {
@@ -52,6 +54,8 @@ func run(args []string) error {
 		return cmdScore(args[1:])
 	case "track":
 		return cmdTrack(args[1:])
+	case "block":
+		return cmdBlock(args[1:])
 	case "analyze":
 		return cmdAnalyze(args[1:])
 	case "inspect":
@@ -76,6 +80,8 @@ commands:
   score   [flags]       rank networks by multidimensional uncleanliness
   track   [flags]       stream weekly reports through the decaying tracker
                         and compare its blocklist against a static one
+  block   [flags]       stream the October traffic through the compiled
+                        C_n(R_bot-test) sweep and report blocking throughput
   analyze [flags]       run the spatial/temporal tests over .report files
                         on disk (see: uncleanctl reports)
   inspect [flags]       coordinated-activity view of one network's traffic
@@ -223,6 +229,59 @@ func cmdReports(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d flow records)\n", flowPath, len(ds.Flows))
+	return nil
+}
+
+// cmdBlock is the operational face of the §6 experiment: compile the
+// bot-test prefix sweep once, stream the whole unclean window's traffic
+// through it in one pass, and report what each prefix length would have
+// blocked — plus the throughput the compiled engine sustains.
+func cmdBlock(args []string) error {
+	fs := flag.NewFlagSet("block", flag.ContinueOnError)
+	scaleDen, seed, draws, benign := commonFlags(fs)
+	lo := fs.Int("lo", 24, "shortest blocked prefix length")
+	hi := fs.Int("hi", 32, "longest blocked prefix length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := configFrom(*scaleDen, *seed, *draws, *benign)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "building world at scale 1/%.0f (seed %d)...\n", 1/cfg.Scale, cfg.Seed)
+	wcfg := simnet.DefaultConfig(cfg.Scale)
+	wcfg.Seed = cfg.Seed
+	world, err := simnet.NewWorld(wcfg)
+	if err != nil {
+		return err
+	}
+	ms, err := blocklist.SweepSet(world.BotTest(), *lo, *hi)
+	if err != nil {
+		return err
+	}
+	sv := blocklist.NewSweepEvaluator(ms)
+	total := 0
+	start := time.Now()
+	err = world.StreamFlows(experiments.UncleanFrom, experiments.UncleanTo, simnet.FlowOptions{
+		BenignSourcesPerDay: cfg.BenignPerDay,
+		CandidateExtras:     true,
+	}, func(_ time.Time, recs []netflow.Record) error {
+		total += len(recs)
+		sv.Consume(recs)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("scored %d flows from %d distinct sources in %v (%.0f flows/sec, %d lists per probe)\n\n",
+		total, sv.Sources(), elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), ms.Lists())
+	fmt.Printf("%3s %12s %12s %15s %15s\n", "n", "blocked", "passed", "payload-blocked", "sources-blocked")
+	for i, e := range sv.Results() {
+		fmt.Printf("%3d %12d %12d %15d %15d\n",
+			*lo+i, e.FlowsBlocked, e.FlowsPassed, e.PayloadBlocked, e.BlockedSources.Len())
+	}
 	return nil
 }
 

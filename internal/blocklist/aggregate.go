@@ -1,7 +1,8 @@
 package blocklist
 
 import (
-	"sort"
+	"slices"
+	"strings"
 
 	"unclean/internal/netaddr"
 )
@@ -14,57 +15,65 @@ import (
 // contains mergeable runs.
 //
 // Reasons are preserved when the merged rules agree and replaced with
-// "aggregated" otherwise.
+// "aggregated" otherwise. The pass is deterministic: rules are bucketed
+// by prefix length and merged bottom-up (longest prefixes first, each
+// level in base-address order), so the same input always yields the same
+// output regardless of insertion or map iteration order.
 func (t *Trie) Aggregate() *Trie {
 	entries := t.Entries()
 	// Shorter prefixes first so covered rules can be dropped in one pass.
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Block.Bits() != entries[j].Block.Bits() {
-			return entries[i].Block.Bits() < entries[j].Block.Bits()
-		}
-		return entries[i].Block.Base() < entries[j].Block.Base()
-	})
+	slices.SortFunc(entries, compareEntries)
 	cover := &Trie{}
-	reasons := make(map[netaddr.Block]string)
+	var levels [33][]Entry // surviving rules bucketed by prefix length
 	for _, e := range entries {
 		if cover.Blocks(e.Block.Base()) {
 			continue // a shorter rule already covers this block entirely
 		}
 		cover.Insert(e.Block, e.Reason)
-		reasons[e.Block] = e.Reason
+		levels[e.Block.Bits()] = append(levels[e.Block.Bits()], e)
 	}
-	// Iteratively merge complementary siblings.
-	for {
-		merged := false
-		for b, reason := range reasons {
-			if b.Bits() == 0 {
-				continue
-			}
-			sib := siblingOf(b)
-			sibReason, ok := reasons[sib]
-			if !ok {
-				continue
-			}
-			parent := b.Parent()
-			newReason := reason
-			if sibReason != reason {
-				newReason = "aggregated"
-			}
-			delete(reasons, b)
-			delete(reasons, sib)
-			reasons[parent] = newReason
-			merged = true
-			break // the map changed; restart iteration
-		}
-		if !merged {
-			break
-		}
-	}
+	// Bottom-up sibling merge: walk levels from /32 to /1; within a level
+	// blocks are disjoint and equally sized, so after sorting by base a
+	// complementary pair is always adjacent. A merged pair becomes a
+	// parent entry one level up, where it may merge again. No merge
+	// candidate is ever missed and no map is iterated, so the result is
+	// canonical.
 	out := &Trie{}
-	for b, reason := range reasons {
-		out.Insert(b, reason)
+	for bits := 32; bits >= 1; bits-- {
+		lvl := levels[bits]
+		slices.SortFunc(lvl, compareEntries)
+		for i := 0; i < len(lvl); i++ {
+			e := lvl[i]
+			if i+1 < len(lvl) && lvl[i+1].Block == siblingOf(e.Block) {
+				reason := e.Reason
+				if lvl[i+1].Reason != reason {
+					reason = "aggregated"
+				}
+				levels[bits-1] = append(levels[bits-1], Entry{Block: e.Block.Parent(), Reason: reason})
+				i++ // the sibling is consumed by the merge
+				continue
+			}
+			out.Insert(e.Block, e.Reason)
+		}
+	}
+	for _, e := range levels[0] {
+		out.Insert(e.Block, e.Reason)
 	}
 	return out
+}
+
+// compareEntries orders by prefix length, then base address.
+func compareEntries(a, b Entry) int {
+	if c := a.Block.Bits() - b.Block.Bits(); c != 0 {
+		return c
+	}
+	if a.Block.Base() != b.Block.Base() {
+		if a.Block.Base() < b.Block.Base() {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // siblingOf returns the block differing from b only in its last prefix
@@ -90,10 +99,11 @@ func canonicalCover(t *Trie) string {
 		blocks = append(blocks, e.Block)
 		return true
 	})
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Compare(blocks[j]) < 0 })
-	s := ""
+	slices.SortFunc(blocks, netaddr.Block.Compare)
+	var sb strings.Builder
 	for _, b := range blocks {
-		s += b.String() + " "
+		sb.WriteString(b.String())
+		sb.WriteByte(' ')
 	}
-	return s
+	return sb.String()
 }

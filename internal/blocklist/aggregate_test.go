@@ -125,6 +125,63 @@ func TestAggregateIdempotent(t *testing.T) {
 	}
 }
 
+// TestAggregateDeterministic pins the output of Aggregate — blocks AND
+// reasons — across repeated runs and across insertion orders. The seed
+// implementation restarted a map iteration after every merge, so
+// multi-level mixed-reason merges could land different reasons from run
+// to run; the bottom-up pass must not.
+func TestAggregateDeterministic(t *testing.T) {
+	rules := []struct {
+		block  string
+		reason string
+	}{
+		{"10.1.0.0/24", "bot"},
+		{"10.1.1.0/24", "spam"},
+		{"10.1.2.0/24", "bot"},
+		{"10.1.3.0/24", "bot"},
+		{"10.2.0.0/25", "scan"},
+		{"10.2.0.128/25", "scan"},
+		{"192.168.0.0/17", "x"},
+		{"192.168.128.0/17", "y"},
+	}
+	rng := stats.NewRNG(3)
+	var want string
+	for trial := 0; trial < 50; trial++ {
+		order := rng.Perm(len(rules))
+		var tr Trie
+		for _, i := range order {
+			tr.Insert(netaddr.MustParseBlock(rules[i].block), rules[i].reason)
+		}
+		got := tr.Aggregate().String()
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: aggregate output changed with insertion order:\n got %q\nwant %q", trial, got, want)
+		}
+	}
+	// The pinned expectations: same-reason runs keep their reason,
+	// mixed-reason merges become "aggregated".
+	var tr Trie
+	for _, r := range rules {
+		tr.Insert(netaddr.MustParseBlock(r.block), r.reason)
+	}
+	agg := tr.Aggregate()
+	if agg.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", agg.Len())
+	}
+	for addr, reason := range map[string]string{
+		"10.1.2.7":      "aggregated", // bot+spam+bot+bot /22
+		"10.2.0.200":    "scan",       // scan+scan /24
+		"192.168.77.77": "aggregated", // x+y /16
+	} {
+		if e, ok := agg.Lookup(netaddr.MustParseAddr(addr)); !ok || e.Reason != reason {
+			t.Errorf("Lookup(%s) = %+v (ok=%v), want reason %q", addr, e, ok, reason)
+		}
+	}
+}
+
 func TestCoversSameAddresses(t *testing.T) {
 	var a, b, c Trie
 	a.Insert(netaddr.MustParseBlock("10.1.0.0/23"), "x")

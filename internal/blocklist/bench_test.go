@@ -1,11 +1,15 @@
 package blocklist
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"unclean/internal/ipset"
 	"unclean/internal/netaddr"
 	"unclean/internal/netflow"
+	"unclean/internal/simnet"
 	"unclean/internal/stats"
 )
 
@@ -84,4 +88,181 @@ func BenchmarkTrieWalk(b *testing.B) {
 			b.Fatal("empty walk")
 		}
 	}
+}
+
+// ---- compiled matcher vs trie at 100k rules ----
+
+// benchRules is the rule count for the Lookup-vs-Blocks comparison; the
+// acceptance bar is Matcher >= 5x Trie at this size with 0 allocs/op.
+const benchRules = 100_000
+
+var benchCompiled struct {
+	once   sync.Once
+	trie   *Trie
+	m      *Matcher
+	probes []netaddr.Addr
+}
+
+func benchMatcherSetup() (*Trie, *Matcher, []netaddr.Addr) {
+	benchCompiled.once.Do(func() {
+		benchCompiled.trie = benchTrie(benchRules)
+		benchCompiled.m = Compile(benchCompiled.trie)
+		rng := stats.NewRNG(13)
+		probes := make([]netaddr.Addr, 4096)
+		for i := range probes {
+			probes[i] = netaddr.Addr(rng.Uint32())
+		}
+		benchCompiled.probes = probes
+	})
+	return benchCompiled.trie, benchCompiled.m, benchCompiled.probes
+}
+
+func BenchmarkTrieBlocks(b *testing.B) {
+	tr, _, probes := benchMatcherSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if tr.Blocks(probes[i%len(probes)]) {
+			hits++
+		}
+	}
+	if b.N > 0 && hits < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkMatcherLookup(b *testing.B) {
+	_, m, probes := benchMatcherSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if m.Blocks(probes[i%len(probes)]) {
+			hits++
+		}
+	}
+	if b.N > 0 && hits < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+func BenchmarkMatcherCompile(b *testing.B) {
+	tr, _, _ := benchMatcherSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Compile(tr).Len() != tr.Len() {
+			b.Fatal("lost rules")
+		}
+	}
+}
+
+// ---- §6 two-week sweep: one compiled pass vs nine trie passes ----
+
+// benchSweep lazily synthesizes the two-week unclean-window flow log at
+// 1/1024 of paper scale, shared by the sweep benchmarks below.
+var benchSweep struct {
+	once sync.Once
+	recs []netflow.Record
+	seed ipset.Set
+}
+
+func benchSweepSetup() ([]netflow.Record, ipset.Set) {
+	benchSweep.once.Do(func() {
+		cfg := simnet.DefaultConfig(1.0 / 1024)
+		cfg.Seed = 20061001
+		w, err := simnet.NewWorld(cfg)
+		if err != nil {
+			panic(err)
+		}
+		from := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+		to := time.Date(2006, 10, 14, 0, 0, 0, 0, time.UTC)
+		err = w.StreamFlows(from, to, simnet.FlowOptions{
+			BenignSourcesPerDay: 400,
+			CandidateExtras:     true,
+		}, func(_ time.Time, day []netflow.Record) error {
+			benchSweep.recs = append(benchSweep.recs, day...)
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		benchSweep.seed = w.BotTest()
+	})
+	return benchSweep.recs, benchSweep.seed
+}
+
+// benchChunk mirrors the chunk size flowcat streams through evaluators.
+const benchChunk = 8192
+
+// BenchmarkBlockingTable is the §6 end-to-end sweep as shipped: the nine
+// C_n(R_bot-test) lists compiled into one MatcherSet, the whole two-week
+// flow log streamed through a SweepEvaluator in one pass. The acceptance
+// bar is >= 3x BenchmarkBlockingTableNinePass.
+func BenchmarkBlockingTable(b *testing.B) {
+	recs, seed := benchSweepSetup()
+	ms, err := SweepSet(seed, 24, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv := NewSweepEvaluator(ms)
+		for off := 0; off < len(recs); off += benchChunk {
+			sv.Consume(recs[off:min(off+benchChunk, len(recs))])
+		}
+		if sv.Sources() == 0 {
+			b.Fatal("no sources seen")
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+}
+
+// BenchmarkBlockingTableNinePass is the seed shape of the same sweep:
+// one full evaluation pass over the flow log per prefix length, each
+// against its own C_n trie.
+func BenchmarkBlockingTableNinePass(b *testing.B) {
+	recs, seed := benchSweepSetup()
+	tries := make([]*Trie, 0, 9)
+	for n := 24; n <= 32; n++ {
+		tries = append(tries, FromSet(seed, n, "sweep"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range tries {
+			e := evaluateTrie(tr, recs)
+			if e.FlowsBlocked+e.FlowsPassed != len(recs) {
+				b.Fatal("lost flows")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+}
+
+// BenchmarkEvaluatorStream drives the two-week log through the streaming
+// Evaluator in flowcat-sized chunks and reports the peak heap held while
+// streaming — the bounded-memory claim: memory tracks distinct sources,
+// not log length.
+func BenchmarkEvaluatorStream(b *testing.B) {
+	recs, seed := benchSweepSetup()
+	m := Compile(FromSet(seed, 24, "sweep"))
+	var peak uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := NewEvaluator(m)
+		for off := 0; off < len(recs); off += benchChunk {
+			ev.Consume(recs[off:min(off+benchChunk, len(recs))])
+		}
+		e := ev.Result()
+		if e.FlowsBlocked+e.FlowsPassed != len(recs) {
+			b.Fatal("lost flows")
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+	b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
 }

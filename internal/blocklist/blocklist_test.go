@@ -212,7 +212,7 @@ func TestEvaluateShardedMatchesSequential(t *testing.T) {
 		records[i] = flowFrom(netaddr.Addr(rng.Uint32()).String(), rng.Bool(0.3))
 	}
 	got := Evaluate(tr, records)
-	want := evaluateShard(tr, records)
+	want := evaluateShard(tr.Blocks, records)
 	if got.FlowsBlocked != want.FlowsBlocked || got.FlowsPassed != want.FlowsPassed ||
 		got.PayloadBlocked != want.PayloadBlocked {
 		t.Fatalf("sharded counts %d/%d/%d, sequential %d/%d/%d",

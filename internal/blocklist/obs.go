@@ -1,0 +1,27 @@
+package blocklist
+
+import "unclean/internal/obs"
+
+// Package-level observability: the compiled-matcher pipeline reports how
+// much it compiles and how fast it scores. Rates derive from the
+// counters at scrape time (flows/sec = rate(unclean_blocklist_eval_flows_total));
+// the lookup-latency histogram carries the amortized per-lookup cost
+// observed on each evaluated chunk, so /metrics shows serving-path LPM
+// latency without timing individual probes on the hot path.
+var (
+	logger = obs.Logger("blocklist")
+
+	compileSeconds = obs.Default().Histogram("unclean_blocklist_compile_seconds",
+		"Time to compile a trie into a flat matcher or matcher set.")
+	compileRules = obs.Default().Counter("unclean_blocklist_compile_rules_total",
+		"Rules compiled into flat matchers.")
+	compileShortPrefix = obs.Default().Counter("unclean_blocklist_compile_short_prefix_total",
+		"Compiled rules shorter than /16, fan-out expanded across the root table (the DIR-24-8 slow-path population).")
+
+	evalFlows = obs.Default().Counter("unclean_blocklist_eval_flows_total",
+		"Flow records scored against compiled blocklists; rate() of this series is the flows/sec throughput.")
+	evalSeconds = obs.Default().Histogram("unclean_blocklist_eval_chunk_seconds",
+		"Wall time scoring one chunk of flow records.")
+	lookupSeconds = obs.Default().Histogram("unclean_blocklist_lookup_seconds",
+		"Amortized per-flow LPM lookup latency, observed once per evaluated chunk.")
+)

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
+	"unclean/internal/blocklist"
 	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
 	"unclean/internal/roc"
 	"unclean/internal/stats"
 )
@@ -96,7 +99,11 @@ func (r BlockingRow) TPRateAssumingUnknownHostile() float64 {
 }
 
 // BlockingTable evaluates the virtual blocking of C_n(botTest) for every
-// n in pr against a candidate partition, producing Table 3.
+// n in pr against a candidate partition, producing Table 3. The sweep is
+// compiled once into a blocklist.MatcherSet, so each partition member is
+// probed a single time and answers its membership in every C_n at once —
+// one pass over the candidate population instead of one per prefix
+// length.
 func BlockingTable(botTest ipset.Set, p Partition, pr PrefixRange) ([]BlockingRow, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
@@ -107,8 +114,35 @@ func BlockingTable(botTest ipset.Set, p Partition, pr PrefixRange) ([]BlockingRo
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
-	// Each prefix length is scored independently against the immutable
-	// partition sets, so the sweep fans out over the shared worker pool.
+	ms, err := blocklist.SweepSet(botTest, pr.Lo, pr.Hi)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BlockingRow, pr.Len())
+	for i := range rows {
+		rows[i].Bits = pr.Lo + i
+	}
+	count := func(s ipset.Set, cell func(*BlockingRow) *int) {
+		s.Each(func(a netaddr.Addr) bool {
+			for mask := ms.Mask(a); mask != 0; mask &= mask - 1 {
+				*cell(&rows[bits.TrailingZeros32(mask)])++
+			}
+			return true
+		})
+	}
+	count(p.Hostile, func(r *BlockingRow) *int { return &r.TP })
+	count(p.Innocent, func(r *BlockingRow) *int { return &r.FP })
+	count(p.Unknown, func(r *BlockingRow) *int { return &r.Unknown })
+	for i := range rows {
+		rows[i].Pop = rows[i].TP + rows[i].FP
+	}
+	return rows, nil
+}
+
+// blockingTableWithinBlocks is the seed implementation: one WithinBlocks
+// set operation per prefix length, fanned out over the worker pool. Kept
+// as the reference the compiled sweep is differentially tested against.
+func blockingTableWithinBlocks(botTest ipset.Set, p Partition, pr PrefixRange) []BlockingRow {
 	rows := make([]BlockingRow, pr.Len())
 	stats.Parallel(pr.Len(), func(_, i int) {
 		n := pr.Lo + i
@@ -121,7 +155,7 @@ func BlockingTable(botTest ipset.Set, p Partition, pr PrefixRange) ([]BlockingRo
 		row.Pop = row.TP + row.FP
 		rows[i] = row
 	})
-	return rows, nil
+	return rows
 }
 
 // BlockedAddressSpan returns |C_n(botTest)| * 2^(32-n): the number of

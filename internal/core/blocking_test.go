@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
 	"unclean/internal/stats"
 )
 
@@ -168,5 +169,51 @@ func TestBlockedAddressSpan(t *testing.T) {
 	}
 	if got := BlockedAddressSpan(botTest, 32); got != 3 {
 		t.Errorf("span at /32 = %d, want 3", got)
+	}
+}
+
+// TestBlockingTableMatchesWithinBlocks differentially tests the compiled
+// one-pass sweep against the seed per-n WithinBlocks implementation on
+// randomized populations.
+func TestBlockingTableMatchesWithinBlocks(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 5; trial++ {
+		bot := ipset.NewBuilder(0)
+		cand := [3]*ipset.Builder{ipset.NewBuilder(0), ipset.NewBuilder(0), ipset.NewBuilder(0)}
+		for i := 0; i < 150; i++ {
+			seed := netaddr.Addr(rng.Uint32())
+			bot.Add(seed)
+			// Partition members scattered around the seed's neighbourhood so
+			// every prefix length in the sweep separates some of them.
+			for j := 0; j < 3; j++ {
+				near := seed&^0x3ff | netaddr.Addr(rng.Uint32()&0x3ff)
+				cand[rng.Intn(3)].Add(near)
+			}
+		}
+		hostile := cand[0].Build()
+		unknown := cand[1].Build().Difference(hostile)
+		innocent := cand[2].Build().Difference(hostile).Difference(unknown)
+		p := Partition{
+			Candidate: hostile.Union(unknown).Union(innocent),
+			Hostile:   hostile,
+			Unknown:   unknown,
+			Innocent:  innocent,
+		}
+		botTest := bot.Build()
+		for _, pr := range []PrefixRange{{24, 32}, {20, 28}, {32, 32}} {
+			got, err := BlockingTable(botTest, p, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := blockingTableWithinBlocks(botTest, p, pr)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %v: %d rows vs %d", trial, pr, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %v row %d:\ncompiled %+v\nseed     %+v", trial, pr, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }

@@ -37,7 +37,7 @@ type Server struct {
 	zone string
 	ttl  uint32
 
-	list atomic.Pointer[blocklist.Trie]
+	list atomic.Pointer[compiledList]
 
 	workers  int
 	queueLen int
@@ -58,6 +58,15 @@ type Server struct {
 	handleHook func()
 
 	bufs sync.Pool
+}
+
+// compiledList pairs the source trie (kept for List and re-export) with
+// its compiled matcher (what queries actually probe). Both swap together
+// under one atomic pointer, so a reload is a single compile + store and
+// the hot path never sees a trie/matcher mismatch.
+type compiledList struct {
+	trie    *blocklist.Trie
+	matcher *blocklist.Matcher
 }
 
 // ServerStats is a point-in-time snapshot of the serving counters and
@@ -102,7 +111,7 @@ func NewServer(zone string, list *blocklist.Trie, ttl time.Duration) (*Server, e
 		workers:  runtime.GOMAXPROCS(0),
 		queueLen: 1024,
 	}
-	s.list.Store(list)
+	s.list.Store(&compiledList{trie: list, matcher: blocklist.Compile(list)})
 	s.bufs.New = func() any { b := make([]byte, maxMessage); return &b }
 	s.metrics = obs.NewRegistry()
 	z := []string{"zone", s.zone}
@@ -132,17 +141,18 @@ func (s *Server) SetConcurrency(workers, queue int) {
 	}
 }
 
-// SetList atomically replaces the served blocklist (live reload). It is
-// safe to call while Serve is running; in-flight queries finish against
-// whichever list they started with.
+// SetList atomically replaces the served blocklist (live reload). The
+// list is compiled off the serving path, then swapped in with one atomic
+// store. It is safe to call while Serve is running; in-flight queries
+// finish against whichever compiled list they started with.
 func (s *Server) SetList(list *blocklist.Trie) {
 	if list != nil {
-		s.list.Store(list)
+		s.list.Store(&compiledList{trie: list, matcher: blocklist.Compile(list)})
 	}
 }
 
 // List returns the currently served blocklist.
-func (s *Server) List() *blocklist.Trie { return s.list.Load() }
+func (s *Server) List() *blocklist.Trie { return s.list.Load().trie }
 
 // Snapshot returns all serving counters and the latency summary. It is
 // the one stats accessor; the counters it reports are the same obs
@@ -290,7 +300,7 @@ func (s *Server) handle(pkt []byte) []byte {
 		return nil
 	}
 	s.queries.Inc()
-	list := s.list.Load()
+	list := s.list.Load().matcher
 
 	question := q.Questions[0]
 	resp := &Message{

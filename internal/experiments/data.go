@@ -60,15 +60,33 @@ func Build(cfg Config) (*Dataset, error) {
 	}
 	ds := &Dataset{Cfg: cfg, World: world}
 
-	// Traffic for the unclean window, then the observed reports.
+	// Traffic for the unclean window, then the observed reports. The
+	// window is streamed day by day: the payload-bearing and TCP source
+	// sets accumulate per chunk instead of re-scanning the finished log,
+	// and concatenating the chunks reproduces SynthesizeFlows exactly.
 	spFlows := obs.StartSpan("build/flows")
-	ds.Flows = world.SynthesizeFlows(UncleanFrom, UncleanTo, simnet.FlowOptions{
+	payload, tcp := ipset.NewBuilder(0), ipset.NewBuilder(0)
+	err = world.StreamFlows(UncleanFrom, UncleanTo, simnet.FlowOptions{
 		BenignSourcesPerDay: cfg.BenignPerDay,
 		CandidateExtras:     true,
+	}, func(_ time.Time, recs []netflow.Record) error {
+		ds.Flows = append(ds.Flows, recs...)
+		for i := range recs {
+			if recs[i].PayloadBearing() {
+				payload.Add(recs[i].SrcAddr)
+			}
+			if recs[i].Proto == netflow.ProtoTCP {
+				tcp.Add(recs[i].SrcAddr)
+			}
+		}
+		return nil
 	})
-	ds.PayloadSources = simnet.PayloadBearingSources(ds.Flows)
-	ds.TCPSources = simnet.TCPSources(ds.Flows)
 	spFlows.End()
+	if err != nil {
+		return nil, err
+	}
+	ds.PayloadSources = payload.Build()
+	ds.TCPSources = tcp.Build()
 
 	spDetect := obs.StartSpan("build/detect")
 	scanSet, err := scandetect.DetectThreshold(ds.Flows, scandetect.DefaultThresholdConfig())

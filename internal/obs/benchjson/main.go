@@ -2,10 +2,17 @@
 // document, so CI can archive benchmark runs as machine-readable
 // artifacts (BENCH_<date>.json) and trend them across commits.
 //
+// With -baseline it also gates the run: every benchmark matching
+// -filter that appears in both the run and the baseline document is
+// compared on ns/op (best of the repeated counts on each side), and the
+// command exits nonzero if any is more than -tolerance slower than the
+// baseline.
+//
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -out BENCH_2026-08-06.json
 //	benchjson -in bench.txt -out bench.json
+//	benchjson -in bench.txt -baseline BENCH_2026-08-06.json -filter 'Lookup|Eval'
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -96,7 +105,77 @@ func parse(in io.Reader) (*Doc, error) {
 	return doc, nil
 }
 
-func run(inPath, outPath string) error {
+// bestNs reduces a document to its fastest ns/op per benchmark, keyed
+// "package.Name". With -count N each benchmark appears N times; the
+// minimum is the least noisy summary of what the code can do.
+func bestNs(doc *Doc, filter *regexp.Regexp) map[string]float64 {
+	best := make(map[string]float64)
+	for _, r := range doc.Benchmarks {
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		key := r.Name
+		if r.Package != "" {
+			key = r.Package + "." + r.Name
+		}
+		if filter != nil && !filter.MatchString(key) {
+			continue
+		}
+		if cur, seen := best[key]; !seen || ns < cur {
+			best[key] = ns
+		}
+	}
+	return best
+}
+
+// compare gates doc against the baseline document at path: any shared
+// benchmark whose best ns/op regressed by more than tolerance fails the
+// run. Benchmarks present on only one side are skipped (new benchmarks
+// must not break CI; retired ones must not pin the baseline forever).
+func compare(doc *Doc, path string, tolerance float64, filter *regexp.Regexp) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var base Doc
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseNs := bestNs(&base, filter)
+	curNs := bestNs(doc, filter)
+	keys := make([]string, 0, len(baseNs))
+	for k := range baseNs {
+		if _, ok := curNs[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("no benchmarks shared between run and baseline %s (filter %v)", path, filter)
+	}
+	sort.Strings(keys)
+	var failed []string
+	for _, k := range keys {
+		delta := curNs[k]/baseNs[k] - 1
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSION"
+			failed = append(failed, k)
+		}
+		fmt.Fprintf(os.Stderr, "%-60s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
+			k, baseNs[k], curNs[k], delta*100, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s: %s",
+			len(failed), tolerance*100, path, strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "%d benchmark(s) within %.0f%% of baseline %s\n",
+		len(keys), tolerance*100, path)
+	return nil
+}
+
+func run(inPath, outPath, baseline string, tolerance float64, filterStr string) error {
 	in := io.Reader(os.Stdin)
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -113,25 +192,43 @@ func run(inPath, outPath string) error {
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark results in input")
 	}
-	out := io.Writer(os.Stdout)
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
+	if outPath != "" || baseline == "" {
+		out := io.Writer(os.Stdout)
+		if outPath != "" {
+			f, err := os.Create(outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
 			return err
 		}
-		defer f.Close()
-		out = f
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	if baseline != "" {
+		var filter *regexp.Regexp
+		if filterStr != "" {
+			var err error
+			if filter, err = regexp.Compile(filterStr); err != nil {
+				return fmt.Errorf("-filter: %w", err)
+			}
+		}
+		return compare(doc, baseline, tolerance, filter)
+	}
+	return nil
 }
 
 func main() {
 	inPath := flag.String("in", "", "bench text input (default stdin)")
 	outPath := flag.String("out", "", "JSON output path (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON document to compare against; regressions fail the run")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed ns/op slowdown vs baseline (0.20 = 20%)")
+	filter := flag.String("filter", "", "regexp selecting package.Benchmark names to compare (default: all)")
 	flag.Parse()
-	if err := run(*inPath, *outPath); err != nil {
+	if err := run(*inPath, *outPath, *baseline, *tolerance, *filter); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -54,5 +58,79 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(doc.Benchmarks) != 0 {
 		t.Fatalf("parsed noise as results: %+v", doc.Benchmarks)
+	}
+}
+
+func writeBaseline(t *testing.T, doc *Doc) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchDoc(ns map[string]float64) *Doc {
+	d := &Doc{}
+	for name, v := range ns {
+		d.Benchmarks = append(d.Benchmarks, Result{
+			Package: "unclean/internal/blocklist", Name: name,
+			Iterations: 1, Metrics: map[string]float64{"ns/op": v},
+		})
+	}
+	return d
+}
+
+func TestBestNsKeepsMinimumAcrossCounts(t *testing.T) {
+	d := &Doc{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 120}},
+		{Package: "p", Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 140}},
+	}}
+	best := bestNs(d, nil)
+	if best["p.BenchmarkX"] != 100 {
+		t.Fatalf("best = %v, want 100", best["p.BenchmarkX"])
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, benchDoc(map[string]float64{"BenchmarkMatcherLookup": 100}))
+	cur := benchDoc(map[string]float64{"BenchmarkMatcherLookup": 115})
+	if err := compare(cur, base, 0.20, nil); err != nil {
+		t.Fatalf("15%% slowdown under 20%% tolerance should pass: %v", err)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, benchDoc(map[string]float64{"BenchmarkMatcherLookup": 100}))
+	cur := benchDoc(map[string]float64{"BenchmarkMatcherLookup": 130})
+	err := compare(cur, base, 0.20, nil)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkMatcherLookup") {
+		t.Fatalf("30%% slowdown should fail naming the benchmark, got %v", err)
+	}
+}
+
+func TestCompareFilterSkipsRegression(t *testing.T) {
+	base := writeBaseline(t, benchDoc(map[string]float64{
+		"BenchmarkMatcherLookup": 100, "BenchmarkTrieInsert": 100,
+	}))
+	cur := benchDoc(map[string]float64{
+		"BenchmarkMatcherLookup": 90, "BenchmarkTrieInsert": 500,
+	})
+	re := regexp.MustCompile(`Lookup`)
+	if err := compare(cur, base, 0.20, re); err != nil {
+		t.Fatalf("regression outside filter should not fail: %v", err)
+	}
+}
+
+func TestCompareNoSharedBenchmarks(t *testing.T) {
+	base := writeBaseline(t, benchDoc(map[string]float64{"BenchmarkOld": 100}))
+	cur := benchDoc(map[string]float64{"BenchmarkNew": 100})
+	if err := compare(cur, base, 0.20, nil); err == nil {
+		t.Fatal("disjoint run/baseline should fail loudly, not silently pass")
 	}
 }

@@ -1,7 +1,8 @@
 package simnet
 
 import (
-	"sort"
+	"container/heap"
+	"slices"
 	"time"
 
 	"unclean/internal/ipset"
@@ -44,18 +45,126 @@ func (w *World) SynthesizeFlows(from, to time.Time, opts FlowOptions) []netflow.
 	}
 	perDay := make([][]netflow.Record, hi-lo+1)
 	stats.Parallel(hi-lo+1, func(_, i int) {
-		perDay[i] = w.synthesizeDay(lo+i, opts, nil)
+		day := w.synthesizeDay(lo+i, opts, nil)
+		sortByTime(day)
+		perDay[i] = day
 	})
+	return mergeByTime(perDay)
+}
+
+// sortByTime stable-sorts one day's records by flow start time. Stable,
+// so records with equal timestamps keep generation order — which is what
+// the old whole-log sort.SliceStable preserved, making the per-day
+// sort + merge pipeline byte-identical to it.
+func sortByTime(records []netflow.Record) {
+	slices.SortStableFunc(records, func(a, b netflow.Record) int {
+		return a.First.Compare(b.First)
+	})
+}
+
+// mergeByTime merges already-sorted per-day slices into one
+// chronological log. Ties across slices resolve to the lower slice
+// index, mirroring concatenation order under a stable sort. Every
+// generator emits a day's flows with First inside that day, so in
+// practice consecutive days never overlap and the merge is a straight
+// concatenation; the heap path keeps the merge correct if a future
+// generator crosses midnight.
+func mergeByTime(perDay [][]netflow.Record) []netflow.Record {
 	total := 0
+	overlap := false
+	var prevMax time.Time
+	havePrev := false
 	for _, day := range perDay {
 		total += len(day)
+		if len(day) == 0 {
+			continue
+		}
+		if havePrev && day[0].First.Before(prevMax) {
+			overlap = true
+		}
+		prevMax = day[len(day)-1].First
+		havePrev = true
 	}
 	out := make([]netflow.Record, 0, total)
-	for _, day := range perDay {
-		out = append(out, day...)
+	if !overlap {
+		for _, day := range perDay {
+			out = append(out, day...)
+		}
+		return out
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	h := &recordHeap{days: perDay, pos: make([]int, len(perDay))}
+	for i := range perDay {
+		if len(perDay[i]) > 0 {
+			h.order = append(h.order, i)
+		}
+	}
+	heap.Init(h)
+	for len(h.order) > 0 {
+		i := h.order[0]
+		out = append(out, h.days[i][h.pos[i]])
+		h.pos[i]++
+		if h.pos[i] == len(h.days[i]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
 	return out
+}
+
+// recordHeap is a min-heap of day indices ordered by each day's next
+// unconsumed record (ties by day index, preserving stability).
+type recordHeap struct {
+	days  [][]netflow.Record
+	pos   []int
+	order []int
+}
+
+func (h *recordHeap) Len() int { return len(h.order) }
+func (h *recordHeap) Less(a, b int) bool {
+	i, j := h.order[a], h.order[b]
+	ri, rj := &h.days[i][h.pos[i]], &h.days[j][h.pos[j]]
+	if !ri.First.Equal(rj.First) {
+		return ri.First.Before(rj.First)
+	}
+	return i < j
+}
+func (h *recordHeap) Swap(a, b int) { h.order[a], h.order[b] = h.order[b], h.order[a] }
+func (h *recordHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *recordHeap) Pop() any {
+	x := h.order[len(h.order)-1]
+	h.order = h.order[:len(h.order)-1]
+	return x
+}
+
+// StreamFlows synthesizes the window's traffic one pool-sized batch of
+// days at a time and hands each day's time-sorted records to fn in
+// chronological order. Peak memory is one batch of days, not the whole
+// window, while day synthesis still saturates the shared worker pool.
+// Concatenating the chunks reproduces SynthesizeFlows byte for byte. A
+// non-nil error from fn aborts the stream and is returned.
+func (w *World) StreamFlows(from, to time.Time, opts FlowOptions, fn func(day time.Time, records []netflow.Record) error) error {
+	lo, hi := w.clampDays(from, to)
+	if hi < lo {
+		return nil
+	}
+	window := stats.Workers(hi - lo + 1)
+	for base := lo; base <= hi; base += window {
+		n := min(window, hi-base+1)
+		chunk := make([][]netflow.Record, n)
+		stats.Parallel(n, func(_, i int) {
+			day := w.synthesizeDay(base+i, opts, nil)
+			sortByTime(day)
+			chunk[i] = day
+		})
+		for i, recs := range chunk {
+			if err := fn(w.Date(base+i), recs); err != nil {
+				return err
+			}
+			chunk[i] = nil // release the day before synthesizing the next batch
+		}
+	}
+	return nil
 }
 
 func (w *World) synthesizeDay(d int, opts FlowOptions, out []netflow.Record) []netflow.Record {

@@ -1,7 +1,10 @@
 package simnet
 
 import (
+	"errors"
+	"sort"
 	"testing"
+	"time"
 
 	"unclean/internal/netaddr"
 	"unclean/internal/netflow"
@@ -175,4 +178,93 @@ type writeCounter struct{ n int }
 func (w *writeCounter) Write(p []byte) (int, error) {
 	w.n += len(p)
 	return len(p), nil
+}
+
+// TestStreamFlowsMatchesSynthesize checks the streaming day-chunk API
+// reproduces the materialized log byte for byte: concatenating the
+// chunks in delivery order equals SynthesizeFlows over the same window.
+func TestStreamFlowsMatchesSynthesize(t *testing.T) {
+	w := getWorld(t)
+	opts := FlowOptions{BenignSourcesPerDay: 40, CandidateExtras: true}
+	from, to := date(2006, 10, 1), date(2006, 10, 5)
+	want := w.SynthesizeFlows(from, to, opts)
+
+	var got []netflow.Record
+	days := 0
+	err := w.StreamFlows(from, to, opts, func(day time.Time, recs []netflow.Record) error {
+		if days > 0 && len(recs) > 0 && len(got) > 0 && recs[0].First.Before(got[len(got)-1].First) {
+			t.Fatalf("chunk for %v delivered out of order", day)
+		}
+		days++
+		got = append(got, recs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days != 5 {
+		t.Fatalf("delivered %d day chunks, want 5", days)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d flows, materialized %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("flow %d differs:\nstream %+v\nmemory %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamFlowsPropagatesError(t *testing.T) {
+	w := getWorld(t)
+	opts := FlowOptions{BenignSourcesPerDay: 5, CandidateExtras: false}
+	boom := errors.New("boom")
+	calls := 0
+	err := w.StreamFlows(date(2006, 10, 1), date(2006, 10, 9), opts, func(time.Time, []netflow.Record) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times after error, want 2", calls)
+	}
+}
+
+// TestMergeByTimeHeapPath forces the overlap path and checks the k-way
+// merge against a stable sort of the concatenation — the exact contract
+// the fast path relies on.
+func TestMergeByTimeHeapPath(t *testing.T) {
+	t0 := date(2006, 10, 1)
+	rec := func(sec int, srcLow byte) netflow.Record {
+		return netflow.Record{
+			SrcAddr: netaddr.MakeAddr(60, 0, 0, srcLow),
+			DstAddr: netaddr.MakeAddr(30, 0, 0, 1),
+			First:   t0.Add(time.Duration(sec) * time.Second),
+		}
+	}
+	slices := [][]netflow.Record{
+		{rec(0, 1), rec(10, 2), rec(20, 3)},
+		{},
+		{rec(5, 4), rec(10, 5), rec(30, 6)}, // overlaps slice 0, ties at sec 10
+		{rec(10, 7), rec(40, 8)},
+	}
+	got := mergeByTime(slices)
+	var want []netflow.Record
+	for _, s := range slices {
+		want = append(want, s...)
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].First.Before(want[j].First) })
+	if len(got) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: merge gave src %v, stable sort %v", i, got[i].SrcAddr, want[i].SrcAddr)
+		}
+	}
 }
