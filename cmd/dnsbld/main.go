@@ -18,15 +18,24 @@
 // counters are printed.
 //
 // With -metrics the daemon exposes its observability surface over HTTP:
-// /metrics (Prometheus text), /metrics.json (JSON snapshot with
-// latency quantiles), /debug/pprof/ and /debug/vars. Operational events
-// (reloads, breaker trips, checkpoint recoveries) are structured slog
-// records on stderr; set UNCLEAN_LOG_FORMAT=json for machine-readable
-// logs and UNCLEAN_LOG_LEVEL=debug for more detail.
+// /metrics (Prometheus text), /metrics.json (JSON snapshot with latency
+// quantiles, rolling-window rates, and SLO burn), /healthz (liveness),
+// /readyz (readiness: breaker state, feed staleness, shed rate),
+// /debug/events (the flight-recorder ring of recent wide events),
+// /debug/pprof/ and /debug/vars. Operational events (reloads, breaker
+// trips, checkpoint recoveries) are structured slog records on stderr;
+// -log-format json selects machine-readable logs and -log-level debug
+// more detail (each flag overrides its UNCLEAN_LOG_FORMAT /
+// UNCLEAN_LOG_LEVEL environment variable; the env applies when the flag
+// is absent). With -flight-dump PATH (or UNCLEAN_FLIGHT_DUMP) a panic
+// or fatal exit writes the event ring crash-safely to PATH for
+// post-mortem reading.
 //
 //	dnsbld -listen 127.0.0.1:5354 -metrics 127.0.0.1:9090 -scale 500 &
 //	dig @127.0.0.1 -p 5354 2.1.1.10.bl.unclean.example A
 //	curl -s http://127.0.0.1:9090/metrics | grep unclean_dnsbl
+//	curl -s http://127.0.0.1:9090/readyz
+//	curl -s 'http://127.0.0.1:9090/debug/events?kind=query&n=10'
 //
 // Usage:
 //
@@ -34,6 +43,7 @@
 //	       [-scale N] [-seed N] [-selfcheck N] [-metrics ADDR]
 //	       [-reports DIR] [-reload DUR] [-checkpoint PATH]
 //	       [-checkpoint-every DUR] [-halflife DUR] [-workers N] [-queue N]
+//	       [-log-format text|json] [-log-level LEVEL] [-flight-dump PATH]
 package main
 
 import (
@@ -46,6 +56,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +67,7 @@ import (
 	"unclean/internal/experiments"
 	"unclean/internal/netaddr"
 	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
 	"unclean/internal/report"
 	"unclean/internal/retry"
 	"unclean/internal/tracker"
@@ -65,9 +78,13 @@ import (
 var logger = obs.Logger("dnsbld")
 
 func main() {
+	// First deferred call so a panic anywhere below still dumps the
+	// flight ring (when a dump path is configured) before dying.
+	defer flight.HandleCrash()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
+		flight.CrashDump("fatal: " + err.Error())
 		fmt.Fprintln(os.Stderr, "dnsbld:", err)
 		os.Exit(1)
 	}
@@ -86,6 +103,9 @@ type options struct {
 	checkpointEvery time.Duration
 	halfLife        time.Duration
 	workers, queue  int
+	logFormat       string
+	logLevel        string
+	flightDump      string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -105,6 +125,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.halfLife, "halflife", 42*24*time.Hour, "tracker evidence half-life")
 	fs.IntVar(&o.workers, "workers", 0, "server worker pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&o.queue, "queue", 0, "server packet queue length (0 = default)")
+	fs.StringVar(&o.logFormat, "log-format", "", "log format: text or json (overrides "+formatEnv+"; empty defers to env)")
+	fs.StringVar(&o.logLevel, "log-level", "", "log level: debug, info, warn, error (overrides "+levelEnv+"; empty defers to env)")
+	fs.StringVar(&o.flightDump, "flight-dump", "", "flight-recorder crash dump path (overrides "+flight.DumpPathEnv+"; empty defers to env)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -114,18 +137,61 @@ func parseFlags(args []string) (*options, error) {
 	if o.threshold < 0 || o.threshold > 1 {
 		return nil, fmt.Errorf("-threshold must be in [0, 1]")
 	}
+	if o.logFormat != "" && o.logFormat != "text" && o.logFormat != "json" {
+		return nil, fmt.Errorf("-log-format must be text or json")
+	}
+	if _, ok := obs.ParseLevel(o.logLevel); !ok {
+		return nil, fmt.Errorf("-log-level must be debug, info, warn, or error")
+	}
 	return o, nil
 }
 
+// The env names the obs package reads at init; flags override them.
+const (
+	formatEnv = "UNCLEAN_LOG_FORMAT"
+	levelEnv  = "UNCLEAN_LOG_LEVEL"
+)
+
+// applyLogFlags re-points the process log sink when either log flag was
+// given. Precedence per knob is flag > environment > default: a flag
+// left empty keeps whatever the env already configured at init, so
+// `-log-level debug` alone does not silently reset a json env format.
+func applyLogFlags(o *options) {
+	if o.logFormat == "" && o.logLevel == "" {
+		return
+	}
+	format := o.logFormat
+	if format == "" {
+		format = os.Getenv(formatEnv)
+	}
+	level := o.logLevel
+	if level == "" {
+		level = os.Getenv(levelEnv)
+	}
+	lv, _ := obs.ParseLevel(level)
+	obs.SetLogOutput(os.Stderr, strings.EqualFold(format, "json"), lv)
+}
+
 // metricsMux assembles the daemon's diagnostic HTTP surface: Prometheus
-// text + JSON exposition of the merged registries, pprof profiling, and
-// expvar. A dedicated mux (not http.DefaultServeMux) keeps the surface
-// explicit and testable.
-func metricsMux(regs ...*obs.Registry) *http.ServeMux {
+// text + JSON exposition of the merged registries, health endpoints,
+// the flight-recorder event ring, pprof profiling, and expvar. A
+// dedicated mux (not http.DefaultServeMux) keeps the surface explicit
+// and testable. A nil health serves an always-ready check set; a nil
+// recorder serves the process-default ring.
+func metricsMux(health *obs.Health, events *flight.Recorder, regs ...*obs.Registry) *http.ServeMux {
+	if health == nil {
+		health = obs.NewHealth()
+	}
+	if events == nil {
+		events = flight.Default()
+	}
 	mux := http.NewServeMux()
 	expo := obs.Handler(regs...)
 	mux.Handle("/metrics", expo)
 	mux.Handle("/metrics.json", expo)
+	mux.Handle("/healthz", health.LiveHandler())
+	mux.Handle("/readyz", health.ReadyHandler())
+	mux.Handle("/debug/events", events.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -138,16 +204,16 @@ func metricsMux(regs ...*obs.Registry) *http.ServeMux {
 // serveMetrics binds the diagnostic HTTP listener and serves it in the
 // background. The returned shutdown func closes the listener; the
 // returned address is the bound one (useful with ":0").
-func serveMetrics(addr string, regs ...*obs.Registry) (string, func(), error) {
+func serveMetrics(addr string, health *obs.Health, events *flight.Recorder, regs ...*obs.Registry) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listen: %w", err)
 	}
-	hs := &http.Server{Handler: metricsMux(regs...)}
+	hs := &http.Server{Handler: metricsMux(health, events, regs...)}
 	go hs.Serve(ln) //nolint:errcheck // Close below is the shutdown path
 	logger.Info("metrics listening",
 		"addr", ln.Addr().String(),
-		"endpoints", "/metrics /metrics.json /debug/pprof/ /debug/vars")
+		"endpoints", "/metrics /metrics.json /healthz /readyz /debug/events /debug/pprof/ /debug/vars")
 	return ln.Addr().String(), func() { hs.Close() }, nil
 }
 
@@ -252,10 +318,52 @@ func saveCheckpoint(o *options, tr *tracker.Tracker) {
 	}
 }
 
+// shedUnreadyRate is the one-minute shed fraction above which /readyz
+// reports the instance overloaded: shedding more than half of incoming
+// queries means a balancer should stop sending new ones.
+const shedUnreadyRate = 0.5
+
+// buildHealth wires the daemon's readiness checks: breaker state, feed
+// staleness against the reload interval, and the one-minute shed rate.
+// lastLoad holds the UnixNano of the most recent successful ingest.
+func buildHealth(o *options, srv *dnsbl.Server, breaker *retry.Breaker, lastLoad *atomic.Int64) *obs.Health {
+	health := obs.NewHealth()
+	health.SetInfo("zone", o.zone)
+	health.AddCheck("shed", func() (bool, string) {
+		rate := srv.ShedRate(time.Minute)
+		if rate > shedUnreadyRate {
+			return false, fmt.Sprintf("shedding %.0f%% of queries over the last minute", rate*100)
+		}
+		return true, fmt.Sprintf("shed rate %.2f over the last minute", rate)
+	})
+	if o.reports != "" && o.reload > 0 {
+		health.AddCheck("feed_breaker", func() (bool, string) {
+			if breaker.Open() {
+				return false, "feed circuit open; serving last-good list"
+			}
+			return true, "feed circuit closed"
+		})
+		health.AddCheck("feed_fresh", func() (bool, string) {
+			age := time.Duration(time.Now().UnixNano() - lastLoad.Load())
+			// Two missed reload cycles means the feed is stale, whether
+			// the breaker has noticed yet or not.
+			if age > 2*o.reload {
+				return false, fmt.Sprintf("last successful load %s ago (reload interval %s)", age.Round(time.Second), o.reload)
+			}
+			return true, fmt.Sprintf("loaded %s ago", age.Round(time.Second))
+		})
+	}
+	return health
+}
+
 func run(ctx context.Context, args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	applyLogFlags(o)
+	if o.flightDump != "" {
+		flight.Default().SetDumpPath(o.flightDump)
 	}
 
 	// Build the initial tracker: reports directory if given, else the
@@ -294,8 +402,16 @@ func run(ctx context.Context, args []string) error {
 	}
 	srv.SetConcurrency(o.workers, o.queue)
 
+	// Readiness plumbing: the breaker and last-load stamp exist even in
+	// selfcheck mode so /readyz can always report them.
+	breaker := retry.NewBreaker(3, 10*o.reload)
+	var lastLoad atomic.Int64
+	lastLoad.Store(time.Now().UnixNano())
+
 	if o.metrics != "" {
-		_, stopMetrics, err := serveMetrics(o.metrics, obs.Default(), srv.Metrics())
+		health := buildHealth(o, srv, breaker, &lastLoad)
+		health.SetInfo("udp_addr", conn.LocalAddr().String())
+		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), obs.Default(), srv.Metrics())
 		if err != nil {
 			return err
 		}
@@ -330,7 +446,6 @@ func run(ctx context.Context, args []string) error {
 		defer tick.Stop()
 		ckptC = tick.C
 	}
-	breaker := retry.NewBreaker(3, 10*o.reload)
 
 	for {
 		select {
@@ -358,6 +473,7 @@ func run(ctx context.Context, args []string) error {
 				continue
 			}
 			tr = fresh
+			lastLoad.Store(time.Now().UnixNano())
 			list = listFromTracker(tr, o.threshold)
 			srv.SetList(list)
 			saveCheckpoint(o, tr)

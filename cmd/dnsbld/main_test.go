@@ -13,7 +13,9 @@ import (
 	"testing"
 	"time"
 
+	"unclean/internal/dnsbl"
 	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
 	"unclean/internal/obs"
 	"unclean/internal/report"
 	"unclean/internal/tracker"
@@ -136,7 +138,7 @@ func reservePort(t *testing.T) (string, func(), error) {
 func TestMetricsMuxEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("unclean_test_mux_total", "mux test counter").Add(7)
-	mux := metricsMux(reg)
+	mux := metricsMux(nil, nil, reg)
 
 	get := func(path string) (*http.Response, string) {
 		t.Helper()
@@ -171,6 +173,27 @@ func TestMetricsMuxEndpoints(t *testing.T) {
 	}
 	if len(doc.Metrics) == 0 {
 		t.Error("/metrics.json has no metrics")
+	}
+
+	_, body = get("/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+
+	res, body = get("/readyz")
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/readyz Content-Type = %q, want application/json", ct)
+	}
+	if !strings.Contains(body, `"ready": true`) {
+		t.Errorf("/readyz with no checks not ready:\n%s", body)
+	}
+
+	res, body = get("/debug/events")
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/events Content-Type = %q, want application/json", ct)
+	}
+	if !strings.Contains(body, `"events"`) {
+		t.Errorf("/debug/events missing events field:\n%.200s", body)
 	}
 
 	_, body = get("/debug/vars")
@@ -235,11 +258,171 @@ func TestRunServesMetrics(t *testing.T) {
 	}
 }
 
+// End to end across the whole observability surface: a serving daemon
+// answers real UDP queries, /readyz reports it ready, a broken feed
+// trips the breaker and flips /readyz to 503 — and the queries served
+// earlier read back out of /debug/events with their client and verdict.
+func TestRunReadinessFlipsAndEventsReadBack(t *testing.T) {
+	dir := t.TempDir()
+	writeReports(t, dir)
+
+	addr, stop, err := reservePort(t)
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-reports", dir,
+			"-threshold", "0.5", "-selfcheck", "0", "-metrics", addr,
+			"-reload", "30ms",
+		})
+	}()
+	defer func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Error(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("run did not shut down after cancel")
+		}
+	}()
+
+	getReady := func() (int, readyProbe, error) {
+		res, err := http.Get("http://" + addr + "/readyz")
+		if err != nil {
+			return 0, readyProbe{}, err
+		}
+		defer res.Body.Close()
+		var doc readyProbe
+		if err := json.NewDecoder(res.Body).Decode(&doc); err != nil {
+			return res.StatusCode, doc, err
+		}
+		return res.StatusCode, doc, nil
+	}
+
+	// Phase 1: the daemon comes up ready, advertising its UDP address.
+	var udpAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, doc, err := getReady()
+		if err == nil && code == http.StatusOK && doc.Ready {
+			udpAddr = doc.Info["udp_addr"]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready: code=%d err=%v", code, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if udpAddr == "" {
+		t.Fatal("/readyz info missing udp_addr")
+	}
+
+	// Phase 2: real queries through the UDP socket /readyz advertised.
+	listed, _, err := dnsbl.Lookup(udpAddr, "bl.unclean.example",
+		netaddr.MustParseAddr("10.1.1.9"), 2*time.Second)
+	if err != nil || !listed {
+		t.Fatalf("lookup listed probe: listed=%v err=%v", listed, err)
+	}
+	if listed, _, err = dnsbl.Lookup(udpAddr, "bl.unclean.example",
+		netaddr.MustParseAddr("192.0.2.1"), 2*time.Second); err != nil || listed {
+		t.Fatalf("lookup unlisted probe: listed=%v err=%v", listed, err)
+	}
+
+	// Phase 3: the feed goes bad; after three failed reloads the breaker
+	// trips and readiness must flip.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk"+report.Ext), []byte("not a report"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		code, doc, err := getReady()
+		if err == nil && code == http.StatusServiceUnavailable && !doc.Checks["feed_breaker"].OK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readiness never flipped on breaker trip: code=%d checks=%+v err=%v",
+				code, doc.Checks, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Phase 4: the queries served in phase 2 read back from the flight
+	// recorder, client and verdict intact, and the breaker trip is on the
+	// same timeline.
+	res, err := http.Get("http://" + addr + "/debug/events?n=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var events struct {
+		Events []struct {
+			Kind    string `json:"kind"`
+			Verdict string `json:"verdict"`
+			Client  string `json:"client"`
+			Addr    string `json:"addr"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	var sawHit, sawMiss, sawTrip bool
+	for _, e := range events.Events {
+		if e.Kind == "query" && e.Verdict == "hit" && e.Addr == "10.1.1.9" &&
+			strings.HasPrefix(e.Client, "127.0.0.1") {
+			sawHit = true
+		}
+		if e.Kind == "query" && e.Verdict == "miss" {
+			sawMiss = true
+		}
+		if e.Kind == "breaker" && e.Verdict == "open" {
+			sawTrip = true
+		}
+	}
+	if !sawHit || !sawMiss || !sawTrip {
+		t.Errorf("flight ring missing events: hit=%v miss=%v trip=%v (%d events)",
+			sawHit, sawMiss, sawTrip, len(events.Events))
+	}
+}
+
+// readyProbe mirrors the /readyz document for the e2e test.
+type readyProbe struct {
+	Ready  bool `json:"ready"`
+	Checks map[string]struct {
+		OK     bool   `json:"ok"`
+		Detail string `json:"detail"`
+	} `json:"checks"`
+	Info map[string]string `json:"info"`
+}
+
 func TestParseFlagsRejectsBadValues(t *testing.T) {
 	if _, err := parseFlags([]string{"-scale", "0"}); err == nil {
 		t.Error("scale 0 accepted")
 	}
 	if _, err := parseFlags([]string{"-threshold", "1.5"}); err == nil {
 		t.Error("threshold 1.5 accepted")
+	}
+	if _, err := parseFlags([]string{"-log-format", "xml"}); err == nil {
+		t.Error("log-format xml accepted")
+	}
+	if _, err := parseFlags([]string{"-log-level", "verbose"}); err == nil {
+		t.Error("log-level verbose accepted")
+	}
+	if o, err := parseFlags([]string{"-log-format", "json", "-log-level", "debug"}); err != nil {
+		t.Errorf("valid log flags rejected: %v", err)
+	} else if o.logFormat != "json" || o.logLevel != "debug" {
+		t.Errorf("log flags lost: %+v", o)
 	}
 }

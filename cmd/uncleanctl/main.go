@@ -62,6 +62,8 @@ func run(args []string) error {
 		return cmdInspect(args[1:])
 	case "figures":
 		return cmdFigures(args[1:])
+	case "status":
+		return cmdStatus(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -86,6 +88,8 @@ commands:
                         on disk (see: uncleanctl reports)
   inspect [flags]       coordinated-activity view of one network's traffic
   figures -out DIR      render every figure (and the Table 3 sweep) as SVG
+  status  -metrics ADDR one-screen health/SLO/event view of a running
+                        dnsbld (reads its diagnostic HTTP surface)
 
 common flags: -scale (denominator: 64 means 1/64 of paper scale), -seed, -draws
 `)

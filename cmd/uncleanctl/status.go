@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// cmdStatus is the operator's one-screen view of a running dnsbld: it
+// reads the daemon's diagnostic HTTP surface (/readyz, /metrics.json,
+// /debug/events) and renders health, SLO burn, rolling-window serving
+// rates, and the most recent flight-recorder events. It needs only the
+// -metrics address the daemon was started with.
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	metrics := fs.String("metrics", "", "dnsbld diagnostic HTTP address (required; host:port of its -metrics flag)")
+	events := fs.Int("events", 10, "recent flight events to show (0 disables)")
+	timeout := fs.Duration("timeout", 3*time.Second, "per-request HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *metrics == "" {
+		return fmt.Errorf("status: -metrics is required")
+	}
+	base := *metrics
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+	return writeStatus(os.Stdout, client, base, *events)
+}
+
+// readyDoc mirrors the daemon's /readyz document.
+type readyDoc struct {
+	Ready  bool `json:"ready"`
+	Checks map[string]struct {
+		OK     bool   `json:"ok"`
+		Detail string `json:"detail"`
+	} `json:"checks"`
+	Info map[string]string `json:"info"`
+}
+
+// metricsDoc mirrors the parts of /metrics.json the status view renders.
+type metricsDoc struct {
+	Metrics []struct {
+		Name     string             `json:"name"`
+		Labels   map[string]string  `json:"labels"`
+		Kind     string             `json:"kind"`
+		Target   *float64           `json:"target"`
+		BurnRate map[string]float64 `json:"burn_rate"`
+		Windows  map[string]struct {
+			Total      *uint64  `json:"total"`
+			RatePerSec *float64 `json:"rate_per_second"`
+			Count      *uint64  `json:"count"`
+			P50Seconds *float64 `json:"p50_seconds"`
+			P99Seconds *float64 `json:"p99_seconds"`
+		} `json:"windows"`
+	} `json:"metrics"`
+}
+
+// eventsResp mirrors /debug/events.
+type eventsResp struct {
+	Recorded uint64 `json:"recorded"`
+	Events   []struct {
+		Seq     uint64   `json:"seq"`
+		Time    string   `json:"time"`
+		Kind    string   `json:"kind"`
+		Verdict string   `json:"verdict"`
+		Name    string   `json:"name"`
+		Client  string   `json:"client"`
+		Addr    string   `json:"addr"`
+		Latency string   `json:"latency"`
+		Flags   []string `json:"flags"`
+		Detail  string   `json:"detail"`
+	} `json:"events"`
+}
+
+// getJSON fetches base+path into v. A 503 from /readyz is a valid
+// answer (not ready), so any status with a decodable body passes.
+func getJSON(client *http.Client, base, path string, v any) error {
+	res, err := client.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK && res.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s: status %d: %.200s", path, res.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("GET %s: %v", path, err)
+	}
+	return nil
+}
+
+// writeStatus renders the one-screen status to w. Split from cmdStatus
+// so tests can point it at an httptest server and a buffer.
+func writeStatus(w io.Writer, client *http.Client, base string, nEvents int) error {
+	var ready readyDoc
+	if err := getJSON(client, base, "/readyz", &ready); err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	var mets metricsDoc
+	if err := getJSON(client, base, "/metrics.json", &mets); err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+
+	state := "READY"
+	if !ready.Ready {
+		state = "NOT READY"
+	}
+	fmt.Fprintf(w, "dnsbld %s: %s\n", base, state)
+	names := make([]string, 0, len(ready.Checks))
+	for n := range ready.Checks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := ready.Checks[n]
+		mark := "ok"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%-4s] %-14s %s\n", mark, n, c.Detail)
+	}
+	if len(ready.Info) > 0 {
+		keys := make([]string, 0, len(ready.Info))
+		for k := range ready.Info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "  info:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%s", k, ready.Info[k])
+		}
+		fmt.Fprintln(w)
+	}
+
+	// SLOs and the rolling serving windows.
+	for _, m := range mets.Metrics {
+		switch m.Kind {
+		case "slo":
+			fmt.Fprintf(w, "\nslo %s%s:", m.Name, labelSuffix(m.Labels))
+			if m.Target != nil {
+				fmt.Fprintf(w, " target %.4g%%", *m.Target*100)
+			}
+			wins := make([]string, 0, len(m.BurnRate))
+			for win := range m.BurnRate {
+				wins = append(wins, win)
+			}
+			sort.Strings(wins)
+			for _, win := range wins {
+				fmt.Fprintf(w, "  burn[%s]=%.3g", win, m.BurnRate[win])
+			}
+			fmt.Fprintln(w)
+		case "windowed_histogram":
+			jw, ok := m.Windows["1m"]
+			if !ok || jw.Count == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%s%s last 1m: %d observed", m.Name, labelSuffix(m.Labels), *jw.Count)
+			if jw.P50Seconds != nil && jw.P99Seconds != nil {
+				fmt.Fprintf(w, ", p50 %s, p99 %s",
+					time.Duration(*jw.P50Seconds*1e9).Round(time.Microsecond),
+					time.Duration(*jw.P99Seconds*1e9).Round(time.Microsecond))
+			}
+			fmt.Fprintln(w)
+		case "windowed_counter":
+			jw, ok := m.Windows["1m"]
+			if !ok || jw.Total == nil || *jw.Total == 0 {
+				continue // an idle error/shed counter is noise, not signal
+			}
+			fmt.Fprintf(w, "%s%s last 1m: %d (%.3g/s)\n",
+				m.Name, labelSuffix(m.Labels), *jw.Total, deref(jw.RatePerSec))
+		}
+	}
+
+	if nEvents > 0 {
+		var evs eventsResp
+		if err := getJSON(client, base, fmt.Sprintf("/debug/events?n=%d", nEvents), &evs); err != nil {
+			return fmt.Errorf("status: %w", err)
+		}
+		fmt.Fprintf(w, "\nrecent events (%d of %d recorded):\n", len(evs.Events), evs.Recorded)
+		for _, e := range evs.Events {
+			line := fmt.Sprintf("  #%-6d %s %-10s %s", e.Seq, e.Time, e.Kind, e.Verdict)
+			if e.Client != "" {
+				line += " client=" + e.Client
+			}
+			if e.Addr != "" {
+				line += " addr=" + e.Addr
+			}
+			if e.Latency != "" {
+				line += " " + e.Latency
+			}
+			if len(e.Flags) > 0 {
+				line += " [" + strings.Join(e.Flags, ",") + "]"
+			}
+			if e.Detail != "" {
+				line += " — " + e.Detail
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return nil
+}
+
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func deref(f *float64) float64 {
+	if f == nil {
+		return 0
+	}
+	return *f
+}

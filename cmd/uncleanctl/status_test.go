@@ -1,0 +1,91 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The status view renders health, SLO burn, windowed rates, and recent
+// events from a daemon's diagnostic surface — verified against a fake
+// daemon so the rendering contract is pinned without a live dnsbld.
+func TestWriteStatus(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{
+			"ready": false,
+			"checks": {
+				"feed_breaker": {"ok": false, "detail": "feed circuit open; serving last-good list"},
+				"shed": {"ok": true, "detail": "shed rate 0.00 over the last minute"}
+			},
+			"info": {"udp_addr": "127.0.0.1:5354", "zone": "bl.unclean.example"}
+		}`))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"metrics": [
+			{"name": "unclean_dnsbl_availability", "labels": {"zone": "bl.unclean.example"},
+			 "kind": "slo", "target": 0.999, "burn_rate": {"5m": 2.5, "1h": 0.1}},
+			{"name": "unclean_dnsbl_window_query_seconds", "labels": {"zone": "bl.unclean.example"},
+			 "kind": "windowed_histogram",
+			 "windows": {"1m": {"count": 42, "p50_seconds": 0.000002, "p99_seconds": 0.00001},
+			             "5m": {"count": 42}, "1h": {"count": 42}}},
+			{"name": "unclean_dnsbl_window_shed_total", "kind": "windowed_counter",
+			 "windows": {"1m": {"total": 0, "rate_per_second": 0}}}
+		]}`))
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("n"); got != "5" {
+			t.Errorf("events request n=%q, want 5", got)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"recorded": 99, "events": [
+			{"seq": 98, "time": "2026-08-06T12:00:00Z", "kind": "breaker",
+			 "verdict": "open", "flags": ["err"], "detail": "ingest: boom"},
+			{"seq": 99, "time": "2026-08-06T12:00:01Z", "kind": "query",
+			 "verdict": "hit", "client": "192.0.2.9", "addr": "10.1.1.2", "latency": "12µs"}
+		]}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := writeStatus(&out, &http.Client{Timeout: time.Second}, ts.URL, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"NOT READY",
+		"[FAIL] feed_breaker",
+		"feed circuit open",
+		"[ok  ] shed",
+		"udp_addr=127.0.0.1:5354",
+		"zone=bl.unclean.example",
+		"slo unclean_dnsbl_availability{zone=bl.unclean.example}: target 99.9%",
+		"burn[5m]=2.5",
+		"unclean_dnsbl_window_query_seconds{zone=bl.unclean.example} last 1m: 42 observed",
+		"p99 10µs",
+		"recent events (2 of 99 recorded)",
+		"breaker    open",
+		"[err] — ingest: boom",
+		"client=192.0.2.9 addr=10.1.1.2 12µs",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("status output missing %q:\n%s", want, got)
+		}
+	}
+	// The idle shed counter must be suppressed, not rendered as zero.
+	if strings.Contains(got, "unclean_dnsbl_window_shed_total") {
+		t.Errorf("idle windowed counter rendered:\n%s", got)
+	}
+}
+
+func TestCmdStatusRequiresMetrics(t *testing.T) {
+	if err := cmdStatus(nil); err == nil {
+		t.Fatal("status without -metrics accepted")
+	}
+}

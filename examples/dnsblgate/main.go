@@ -87,9 +87,9 @@ func main() {
 		}
 		return true
 	})
-	queries, hits := srv.Stats()
+	stats := srv.Snapshot()
 	fmt.Printf("gateway processed %d SMTP senders via %d DNSBL queries (%d listed)\n",
-		senderSet.Len(), queries, hits)
+		senderSet.Len(), stats.Queries, stats.Hits)
 	fmt.Printf("rejected %d senders (%d known spammers); accepted %d (%d spammers slipped through)\n",
 		rejected, rejectedSpammers, accepted, acceptedSpammers)
 	if rejected > 0 && rejectedSpammers > 0 {

@@ -7,6 +7,7 @@ import (
 
 	"unclean/internal/blocklist"
 	"unclean/internal/netaddr"
+	"unclean/internal/obs/flight"
 )
 
 // The serve-path benchmarks pin the cost of the instrumented hot path:
@@ -50,8 +51,9 @@ func BenchmarkHandleHit(b *testing.B) {
 	q := benchQuery(b, "10.42.1.9")
 	b.ReportAllocs()
 	b.ResetTimer()
+	var ev flight.Event
 	for i := 0; i < b.N; i++ {
-		if srv.handle(q) == nil {
+		if srv.handle(q, &ev) == nil {
 			b.Fatal("handle dropped a valid query")
 		}
 	}
@@ -62,8 +64,9 @@ func BenchmarkHandleMiss(b *testing.B) {
 	q := benchQuery(b, "192.0.2.1")
 	b.ReportAllocs()
 	b.ResetTimer()
+	var ev flight.Event
 	for i := 0; i < b.N; i++ {
-		if srv.handle(q) == nil {
+		if srv.handle(q, &ev) == nil {
 			b.Fatal("handle dropped a valid query")
 		}
 	}
@@ -79,12 +82,13 @@ func BenchmarkServeOne(b *testing.B) {
 	srv := benchServer(b)
 	q := benchQuery(b, "10.42.1.9")
 	peer := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}
+	var arena flight.Arena
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bp := srv.bufs.Get().(*[]byte)
 		copy(*bp, q)
-		srv.serveOne(nullConn{}, packet{data: bp, n: len(q), peer: peer})
+		srv.serveOne(nullConn{}, packet{data: bp, n: len(q), peer: peer}, &arena)
 	}
 	b.StopTimer()
 	if st := srv.Snapshot(); st.Queries != uint64(b.N) || st.Latency.Count != uint64(b.N) {

@@ -13,6 +13,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"unclean/internal/faults"
 	"unclean/internal/ipset"
 	"unclean/internal/netaddr"
+	"unclean/internal/obs/flight"
 	"unclean/internal/report"
 	"unclean/internal/retry"
 	"unclean/internal/stats"
@@ -232,6 +234,81 @@ func TestChaosCrashRecoveryAtEveryPoint(t *testing.T) {
 		if err != nil || !listed {
 			t.Fatalf("crash point %d: recovered server lookup: listed=%v err=%v", k, listed, err)
 		}
+	}
+}
+
+// TestChaosCrashAtCheckpointLeavesReadableFlightDump kills a checkpoint
+// write mid-flight and drives the daemon's crash path (HandleCrash →
+// dump → re-panic): the flight-recorder dump on disk must be readable —
+// atomicfile guarantees it is complete or absent, never torn — and must
+// hold the pre-crash checkpoint event plus the terminal crash event, so
+// a post-mortem can see what the process was doing when it died.
+func TestChaosCrashAtCheckpointLeavesReadableFlightDump(t *testing.T) {
+	dumpPath := filepath.Join(t.TempDir(), "flight.crash.json")
+	rec := flight.Default()
+	prev := rec.DumpPath()
+	rec.SetDumpPath(dumpPath)
+	defer rec.SetDumpPath(prev)
+
+	// One clean save first, so the ring holds a "saved" checkpoint event
+	// and the on-disk state has an acknowledged generation to recover.
+	tr := chaosTracker(t)
+	ckpt := filepath.Join(t.TempDir(), "tracker.ckpt")
+	if err := tr.SaveFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next write dies at its first injected crash point; the daemon
+	// turns that into a panic that HandleCrash intercepts.
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	crash := faults.CrashAt(0)
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("HandleCrash swallowed the panic")
+			}
+		}()
+		defer flight.HandleCrash()
+		if err := atomicfile.WriteCheckpointHook(ckpt, buf.Bytes(), crash.Step); err != nil {
+			panic(err)
+		}
+	}()
+	if !crash.Tripped() {
+		t.Fatal("crash point 0 never fired")
+	}
+
+	dump, err := flight.LoadDump(dumpPath)
+	if err != nil {
+		t.Fatalf("crash dump unreadable: %v", err)
+	}
+	if !strings.Contains(dump.Reason, "panic") {
+		t.Errorf("dump reason = %q, want a panic reason", dump.Reason)
+	}
+	var sawSave, sawCrash bool
+	for _, e := range dump.Events {
+		if e.Kind == "checkpoint" && e.Verdict == "saved" && e.Name == ckpt {
+			sawSave = true
+		}
+		if e.Kind == "server" && e.Verdict == "crash" {
+			sawCrash = true
+		}
+	}
+	if !sawSave || !sawCrash {
+		t.Errorf("dump missing events: saved=%v crash=%v (%d events)",
+			sawSave, sawCrash, len(dump.Events))
+	}
+
+	// The interrupted checkpoint must still recover the acknowledged
+	// generation — a crashed daemon restarts from coherent state.
+	rec2, err := tracker.LoadFile(ckpt)
+	if err != nil {
+		t.Fatalf("post-crash checkpoint recovery: %v", err)
+	}
+	if rec2.BlockCount() != 2 {
+		t.Errorf("recovered %d blocks, want 2", rec2.BlockCount())
 	}
 }
 

@@ -186,9 +186,9 @@ func TestEndToEndLookup(t *testing.T) {
 	if listed {
 		t.Fatal("unlisted address reported listed")
 	}
-	queries, hits := srv.Stats()
-	if queries != 3 || hits != 2 {
-		t.Fatalf("stats = %d queries, %d hits", queries, hits)
+	st := srv.Snapshot()
+	if st.Queries != 3 || st.Hits != 2 {
+		t.Fatalf("stats = %d queries, %d hits", st.Queries, st.Hits)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"unclean/internal/blocklist"
+	"unclean/internal/obs/flight"
 )
 
 // Decode must never panic on attacker-controlled packets — the server
@@ -78,7 +79,7 @@ func TestServerHandleNeverPanics(t *testing.T) {
 				t.Fatalf("handle panicked: %v", r)
 			}
 		}()
-		_ = srv.handle(data)
+		_ = srv.handle(data, &flight.Event{})
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {

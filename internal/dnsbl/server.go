@@ -14,6 +14,7 @@ import (
 	"unclean/internal/blocklist"
 	"unclean/internal/netaddr"
 	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
 )
 
 // Server answers DNSBL queries for one zone out of a blocklist trie. The
@@ -51,6 +52,22 @@ type Server struct {
 	panics    *obs.Counter   // recovered per-request panics (also dropped)
 	inflight  *obs.Gauge     // packets currently inside a worker
 	latency   *obs.Histogram // per-query handling latency
+
+	// Rolling-window views of the same serving signals (1m/5m/1h), plus
+	// the availability SLO derived from them. wLatency doubles as the
+	// per-window handled count (every handled packet observes exactly
+	// one latency); wBad counts failures (panic, write drop, encode
+	// error) on the rare path, so the common case pays one windowed
+	// observe, not three windowed writes; wShed the overload-valve
+	// drops.
+	wBad     *obs.WindowedCounter
+	wShed    *obs.WindowedCounter
+	wLatency *obs.WindowedHistogram
+	slo      *obs.SLO
+
+	// events receives one wide event per packet (and per shed decision);
+	// defaults to the process flight recorder.
+	events *flight.Recorder
 
 	// handleHook, when set, runs inside each worker just before the
 	// packet is handled — the seam chaos tests use to inject latency and
@@ -123,6 +140,17 @@ func NewServer(zone string, list *blocklist.Trie, ttl time.Duration) (*Server, e
 	s.panics = s.metrics.Counter("unclean_dnsbl_panics_total", "Per-request panics recovered on the serving path.", z...)
 	s.inflight = s.metrics.Gauge("unclean_dnsbl_inflight", "Packets currently inside workers.", z...)
 	s.latency = s.metrics.Histogram("unclean_dnsbl_query_seconds", "Per-query handling latency (dequeue to response written).", z...)
+	s.wBad = s.metrics.WindowedCounter("unclean_dnsbl_window_bad_total", "Packets that failed handling (panic, write drop, encode error), per rolling window.", z...)
+	s.wShed = s.metrics.WindowedCounter("unclean_dnsbl_window_shed_total", "Packets shed unhandled, per rolling window.", z...)
+	s.wLatency = s.metrics.WindowedHistogram("unclean_dnsbl_window_query_seconds", "Per-query handling latency, per rolling window.", z...)
+	s.slo = s.metrics.RegisterSLO(&obs.SLO{
+		Name:   "unclean_dnsbl_availability",
+		Help:   "Fraction of accepted packets handled cleanly.",
+		Target: 0.999,
+		Bad:    s.wBad,
+		Total:  s.wLatency.AsTotal(),
+	}, z...)
+	s.events = flight.Default()
 	return s, nil
 }
 
@@ -170,18 +198,30 @@ func (s *Server) Snapshot() ServerStats {
 	}
 }
 
-// Stats returns how many queries were served and how many hit a listing.
-//
-// Deprecated: use Snapshot.
-func (s *Server) Stats() (queries, listed int) {
-	st := s.Snapshot()
-	return int(st.Queries), int(st.Hits)
+// ShedRate reports the fraction of packets shed by the overload valve
+// over the trailing window (0 when the server saw no traffic). It is
+// the signal /readyz uses: a server shedding heavily is up but not
+// ready for more load.
+func (s *Server) ShedRate(window time.Duration) float64 {
+	shed := s.wShed.Total(window)
+	total := shed + s.wLatency.Count(window)
+	if total == 0 {
+		return 0
+	}
+	return float64(shed) / float64(total)
 }
 
-// Counters returns a snapshot of all serving counters.
-//
-// Deprecated: use Snapshot.
-func (s *Server) Counters() ServerStats { return s.Snapshot() }
+// SLO returns the server's availability SLO (clean-handling ratio over
+// rolling windows), for burn-rate checks and readiness rules.
+func (s *Server) SLO() *obs.SLO { return s.slo }
+
+// SetFlightRecorder redirects the server's wide events to r (tests and
+// multi-server processes that keep separate rings). Call before Serve.
+func (s *Server) SetFlightRecorder(r *flight.Recorder) {
+	if r != nil {
+		s.events = r
+	}
+}
 
 // packet is one received datagram handed from the reader to a worker.
 // data aliases a pooled buffer returned to the pool after handling.
@@ -202,8 +242,11 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns an event arena, so the wide event costs a
+			// bump pointer, not a malloc, on the per-packet path.
+			var arena flight.Arena
 			for pkt := range queue {
-				s.serveOne(conn, pkt)
+				s.serveOne(conn, pkt, &arena)
 			}
 		}()
 	}
@@ -246,8 +289,18 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 		default:
 			// Saturated: shed the packet rather than block the reader —
 			// under overload a DNSBL must keep reading (and mostly
-			// dropping) so legitimate traffic still has a chance.
+			// dropping) so legitimate traffic still has a chance. Shed
+			// packets still leave a wide event (kept-ring flagged), so
+			// the overload is visible per-client in /debug/events.
 			s.shed.Inc()
+			s.wShed.Inc()
+			s.events.Record(flight.Event{
+				Kind:    flight.KindQuery,
+				Flags:   flight.FlagShed,
+				Client:  peerAddr(peer),
+				Name:    s.zone,
+				Verdict: "shed",
+			})
 			s.bufs.Put(bp)
 		}
 	}
@@ -265,12 +318,29 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 // serveOne handles one packet with panic isolation: a panicking request
 // is counted and dropped, never fatal to the daemon. The whole worker
 // leg — hook, decode, lookup, encode, write — is timed into the query
-// latency histogram.
-func (s *Server) serveOne(conn net.PacketConn, pkt packet) {
+// latency histogram, and every packet leaves one wide event in the
+// flight recorder (client, subject address, verdict, latency, flags).
+func (s *Server) serveOne(conn net.PacketConn, pkt packet, arena *flight.Arena) {
 	start := time.Now()
 	s.inflight.Inc()
+	// The event is built in place in the worker's arena and handed to
+	// the recorder whole (RecordOwned): an amortized fraction of an
+	// allocation, no copies, nothing touched after publication.
+	ev := arena.New()
+	ev.Kind = flight.KindQuery
+	ev.Unix = start.UnixNano()
+	ev.Client = peerAddr(pkt.peer)
+	ev.Name = s.zone
+	good := false
 	defer func() {
-		s.latency.Observe(time.Since(start))
+		d := time.Since(start)
+		s.latency.Observe(d)
+		s.wLatency.ObserveAt(start, d)
+		if !good {
+			s.wBad.IncAt(start)
+		}
+		ev.Latency = d
+		s.events.RecordOwned(ev)
 		s.inflight.Dec()
 	}()
 	defer s.bufs.Put(pkt.data)
@@ -278,25 +348,51 @@ func (s *Server) serveOne(conn net.PacketConn, pkt packet) {
 		if r := recover(); r != nil {
 			s.panics.Inc()
 			s.dropped.Inc()
+			ev.Flags |= flight.FlagPanic | flight.FlagErr
+			ev.Verdict = "panic"
 		}
 	}()
 	if s.handleHook != nil {
 		s.handleHook()
 	}
-	resp := s.handle((*pkt.data)[:pkt.n])
+	resp := s.handle((*pkt.data)[:pkt.n], ev)
 	if resp == nil {
-		return // unparseable: drop, as real servers do
+		// Unparseable packets drop silently, as real servers do — that is
+		// clean handling. An encode failure (FlagErr) is not.
+		good = ev.Flags&flight.FlagErr == 0
+		return
 	}
 	if _, err := conn.WriteTo(resp, pkt.peer); err != nil && !errors.Is(err, net.ErrClosed) {
 		s.dropped.Inc()
+		ev.Flags |= flight.FlagErr
+		ev.Detail = "response write failed"
+		return
 	}
+	good = true
 }
 
-// handle builds the response bytes for one query packet, or nil to drop.
-func (s *Server) handle(pkt []byte) []byte {
+// peerAddr extracts the peer's IPv4 address for the wide event (0 when
+// the peer is not UDP/IPv4).
+func peerAddr(a net.Addr) netaddr.Addr {
+	u, ok := a.(*net.UDPAddr)
+	if !ok {
+		return 0
+	}
+	ip := u.IP.To4()
+	if ip == nil {
+		return 0
+	}
+	return netaddr.MakeAddr(ip[0], ip[1], ip[2], ip[3])
+}
+
+// handle builds the response bytes for one query packet, or nil to
+// drop, annotating the packet's wide event with the subject address and
+// the one-word verdict.
+func (s *Server) handle(pkt []byte, ev *flight.Event) []byte {
 	q, err := Decode(pkt)
 	if err != nil || q.Response || len(q.Questions) != 1 {
 		s.malformed.Inc()
+		ev.Verdict = "malformed"
 		return nil
 	}
 	s.queries.Inc()
@@ -315,14 +411,20 @@ func (s *Server) handle(pkt []byte) []byte {
 	switch {
 	case !ok:
 		resp.RCode = RCodeNXDomain
+		ev.Verdict = "badname"
 	case question.Type != TypeA || question.Class != ClassIN:
 		resp.RCode = RCodeOK // name exists; no data of that type
+		ev.Verdict = "nodata"
 	default:
+		ev.Addr = addr
 		entry, listed := list.Lookup(addr)
 		if !listed {
 			resp.RCode = RCodeNXDomain
+			ev.Verdict = "miss"
 		} else {
 			s.hits.Inc()
+			ev.Verdict = "hit"
+			ev.Flags |= flight.FlagHit
 			code := codeFor(entry.Reason)
 			o0, o1, o2, o3 := code.Octets()
 			resp.Answers = append(resp.Answers, Answer{
@@ -336,6 +438,8 @@ func (s *Server) handle(pkt []byte) []byte {
 	}
 	out, err := resp.Encode()
 	if err != nil {
+		ev.Verdict = "encode_error"
+		ev.Flags |= flight.FlagErr
 		return nil
 	}
 	return out

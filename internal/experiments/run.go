@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
 )
 
 // IDs lists the paper-artifact experiment identifiers in paper order.
@@ -19,10 +21,23 @@ func ExtraIDs() []string {
 
 // Run executes one experiment by ID against a dataset. Every execution
 // is timed as a span named experiment/<id> on the process default
-// trace; drivers render obs.DefaultTrace().Table() for the per-run
-// stage-timing table.
-func Run(ds *Dataset, id string) (Result, error) {
+// trace (drivers render obs.DefaultTrace().Table() for the per-run
+// stage-timing table) and leaves one wide event in the flight recorder.
+func Run(ds *Dataset, id string) (res Result, err error) {
+	start := time.Now()
 	defer obs.StartSpan("experiment/" + id).End()
+	defer func() {
+		ev := flight.Event{Kind: flight.KindExperiment, Name: id,
+			Verdict: "ok", Latency: time.Since(start)}
+		if err != nil {
+			ev.Verdict, ev.Flags, ev.Detail = "error", flight.FlagErr, err.Error()
+		}
+		flight.Default().Record(ev)
+	}()
+	return run(ds, id)
+}
+
+func run(ds *Dataset, id string) (Result, error) {
 	switch id {
 	case "table1":
 		return Table1(ds), nil

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Exposition: the same registry contents rendered two ways — the
@@ -20,16 +21,25 @@ import (
 func WriteText(w io.Writer, regs ...*Registry) error {
 	lastName := ""
 	for _, m := range merged(regs) {
-		if m.Name != lastName {
+		first := m.Name != lastName
+		lastName = m.Name
+		if m.Kind == KindSLO {
+			// SLOs expose derived series (_burn_rate, _target) and
+			// write their own headers.
+			if err := writeSLO(w, m, first); err != nil {
+				return err
+			}
+			continue
+		}
+		if first {
 			if m.Help != "" {
 				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind.promType()); err != nil {
 				return err
 			}
-			lastName = m.Name
 		}
 		if err := writeSeries(w, m); err != nil {
 			return err
@@ -48,8 +58,96 @@ func writeSeries(w io.Writer, m *Metric) error {
 		return err
 	case KindHistogram:
 		return writeHistogram(w, m)
+	case KindWindowedCounter:
+		for _, win := range Windows {
+			if _, err := fmt.Fprintf(w, "%s{%s} %d\n",
+				m.Name, renderLabels(m.labels, "window", win.Name), m.wc.Total(win.D)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KindWindowedHistogram:
+		return writeWindowedHistogram(w, m)
 	}
 	return nil
+}
+
+// writeWindowedHistogram renders each window as a summary-style block:
+// count plus quantile-labeled gauges in seconds. Windows with no
+// observations emit only their count — a NoData quantile never renders.
+func writeWindowedHistogram(w io.Writer, m *Metric) error {
+	for _, win := range Windows {
+		s := m.wh.Snapshot(win.D)
+		if _, err := fmt.Fprintf(w, "%s_count{%s} %d\n",
+			m.Name, renderLabels(m.labels, "window", win.Name), s.Count); err != nil {
+			return err
+		}
+		if s.Count == 0 {
+			continue
+		}
+		for _, qv := range [...]struct {
+			q string
+			d time.Duration
+		}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+			val := strconv.FormatFloat(qv.d.Seconds(), 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s{%s,quantile=\"%s\"} %s\n",
+				m.Name, renderLabels(m.labels, "window", win.Name), qv.q, val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSLO renders an SLO's derived series: the target ratio and the
+// burn rate over its short and long windows.
+func writeSLO(w io.Writer, m *Metric, first bool) error {
+	s := m.slo
+	if s == nil {
+		return nil
+	}
+	short, long := s.windows()
+	if first {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s_burn_rate %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_burn_rate gauge\n# TYPE %s_target gauge\n",
+			m.Name, m.Name); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if len(m.labels) > 0 {
+		suffix = "{" + renderLabels(m.labels, "", "") + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_target%s %s\n", m.Name, suffix,
+		strconv.FormatFloat(s.Target, 'g', -1, 64)); err != nil {
+		return err
+	}
+	for _, win := range [...]struct {
+		name string
+		d    time.Duration
+	}{{shortWindowName(short), short}, {shortWindowName(long), long}} {
+		if _, err := fmt.Fprintf(w, "%s_burn_rate{%s} %s\n",
+			m.Name, renderLabels(m.labels, "window", win.name),
+			strconv.FormatFloat(s.BurnRate(win.d), 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shortWindowName renders a duration as a compact window label ("5m",
+// "1h") matching the Windows table where possible.
+func shortWindowName(d time.Duration) string {
+	for _, win := range Windows {
+		if win.D == d {
+			return win.Name
+		}
+	}
+	return d.String()
 }
 
 // writeHistogram renders cumulative le-buckets (seconds), sum, and
@@ -105,6 +203,23 @@ type jsonMetric struct {
 	P50Seconds *float64 `json:"p50_seconds,omitempty"`
 	P95Seconds *float64 `json:"p95_seconds,omitempty"`
 	P99Seconds *float64 `json:"p99_seconds,omitempty"`
+
+	// Windows holds per-window totals (windowed counters) or quantile
+	// summaries (windowed histograms), keyed "1m"/"5m"/"1h".
+	Windows map[string]jsonWindow `json:"windows,omitempty"`
+	// Target and BurnRate render SLOs.
+	Target   *float64           `json:"target,omitempty"`
+	BurnRate map[string]float64 `json:"burn_rate,omitempty"`
+}
+
+// jsonWindow is one rolling window's worth of a windowed metric.
+type jsonWindow struct {
+	Total      *uint64  `json:"total,omitempty"`
+	RatePerSec *float64 `json:"rate_per_second,omitempty"`
+	Count      *uint64  `json:"count,omitempty"`
+	P50Seconds *float64 `json:"p50_seconds,omitempty"`
+	P95Seconds *float64 `json:"p95_seconds,omitempty"`
+	P99Seconds *float64 `json:"p99_seconds,omitempty"`
 }
 
 // WriteJSON renders the metrics of regs as a JSON document:
@@ -125,9 +240,41 @@ func WriteJSON(w io.Writer, regs ...*Registry) error {
 			jm.Value = &v
 		case KindHistogram:
 			s := m.h.Snapshot()
-			sum, p50, p95, p99 := s.Sum.Seconds(), s.P50.Seconds(), s.P95.Seconds(), s.P99.Seconds()
+			sum := s.Sum.Seconds()
 			jm.Count, jm.SumSecs = &s.Count, &sum
-			jm.P50Seconds, jm.P95Seconds, jm.P99Seconds = &p50, &p95, &p99
+			// A NoData quantile (empty histogram) is omitted, not
+			// rendered as a nonsense negative duration.
+			if s.Count > 0 {
+				p50, p95, p99 := s.P50.Seconds(), s.P95.Seconds(), s.P99.Seconds()
+				jm.P50Seconds, jm.P95Seconds, jm.P99Seconds = &p50, &p95, &p99
+			}
+		case KindWindowedCounter:
+			jm.Windows = make(map[string]jsonWindow, len(Windows))
+			for _, win := range Windows {
+				total, rate := m.wc.Total(win.D), m.wc.Rate(win.D)
+				jm.Windows[win.Name] = jsonWindow{Total: &total, RatePerSec: &rate}
+			}
+		case KindWindowedHistogram:
+			jm.Windows = make(map[string]jsonWindow, len(Windows))
+			for _, win := range Windows {
+				s := m.wh.Snapshot(win.D)
+				jw := jsonWindow{Count: &s.Count}
+				if s.Count > 0 {
+					p50, p95, p99 := s.P50.Seconds(), s.P95.Seconds(), s.P99.Seconds()
+					jw.P50Seconds, jw.P95Seconds, jw.P99Seconds = &p50, &p95, &p99
+				}
+				jm.Windows[win.Name] = jw
+			}
+		case KindSLO:
+			if s := m.slo; s != nil {
+				target := s.Target
+				jm.Target = &target
+				short, long := s.windows()
+				jm.BurnRate = map[string]float64{
+					shortWindowName(short): s.BurnRate(short),
+					shortWindowName(long):  s.BurnRate(long),
+				}
+			}
 		}
 		out.Metrics = append(out.Metrics, jm)
 	}

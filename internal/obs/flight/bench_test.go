@@ -1,0 +1,45 @@
+package flight
+
+import (
+	"testing"
+	"time"
+)
+
+// The write path is the number that matters: it sits inside the DNSBL
+// serve loop, whose total budget is ~1.4µs. One alloc, a few atomics.
+
+func BenchmarkRecord(b *testing.B) {
+	r := New(DefaultSize)
+	ev := Event{Kind: KindQuery, Name: "bl.bench", Verdict: "hit",
+		Flags: FlagHit, Client: 0x7f000001, Addr: 0x0a010109, Latency: time.Microsecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkRecordParallel(b *testing.B) {
+	r := New(DefaultSize)
+	ev := Event{Kind: KindQuery, Name: "bl.bench", Verdict: "miss", Latency: time.Microsecond}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Record(ev)
+		}
+	})
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := New(DefaultSize)
+	for i := 0; i < DefaultSize; i++ {
+		r.Record(Event{Kind: KindQuery, Verdict: "miss", Latency: time.Microsecond})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.Snapshot(Filter{Max: 100}); len(got) != 100 {
+			b.Fatalf("snapshot returned %d", len(got))
+		}
+	}
+}

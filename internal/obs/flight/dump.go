@@ -1,0 +1,141 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"unclean/internal/atomicfile"
+	"unclean/internal/obs"
+)
+
+// Crash dumps. A daemon that panics or exits fatally loses its in-memory
+// ring exactly when the ring matters most, so the recorder can persist
+// itself through internal/atomicfile: the dump is written temp → fsync →
+// rename with a CRC trailer, meaning a post-mortem file is either absent
+// or complete — never torn. Read one back with LoadDump (which verifies
+// the trailer) rather than raw json.Unmarshal.
+
+// DumpPathEnv names the environment variable that, when set, gives the
+// Default recorder its dump path at init — the hook CI uses to collect
+// crash dumps from failing test jobs.
+const DumpPathEnv = "UNCLEAN_FLIGHT_DUMP"
+
+func init() {
+	if p := os.Getenv(DumpPathEnv); p != "" {
+		defaultRecorder.SetDumpPath(p)
+	}
+}
+
+// SetDumpPath configures where Dump (and HandleCrash) persist the ring.
+// Empty disables dumping.
+func (r *Recorder) SetDumpPath(path string) {
+	if path == "" {
+		r.dumpPath.Store(nil)
+		return
+	}
+	r.dumpPath.Store(&path)
+}
+
+// DumpPath returns the configured dump path ("" when disabled).
+func (r *Recorder) DumpPath() string {
+	if p := r.dumpPath.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// DumpTo persists both rings (all events, no filter) to path as a JSON
+// document via atomicfile — crash-safe and CRC-trailed.
+func (r *Recorder) DumpTo(path, reason string) error {
+	evs := r.Snapshot(Filter{})
+	kept := r.Snapshot(Filter{Kept: true})
+	doc := eventsDoc{
+		Recorded: r.Len(),
+		Events:   make([]wireEvent, 0, len(evs)),
+		Kept:     make([]wireEvent, 0, len(kept)),
+		DumpedAt: r.now().UTC().Format(time.RFC3339Nano),
+		Reason:   reason,
+	}
+	for i := range evs {
+		doc.Events = append(doc.Events, toWire(&evs[i]))
+	}
+	for i := range kept {
+		doc.Kept = append(doc.Kept, toWire(&kept[i]))
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	return atomicfile.WriteFile(path, append(data, '\n'))
+}
+
+// Dump persists the ring to the configured dump path; with none set it
+// is a no-op returning "".
+func (r *Recorder) Dump(reason string) (string, error) {
+	path := r.DumpPath()
+	if path == "" {
+		return "", nil
+	}
+	return path, r.DumpTo(path, reason)
+}
+
+// Dump is the wire form of a persisted ring, as read back by LoadDump.
+type Dump struct {
+	Recorded uint64
+	Events   []wireEvent
+	Kept     []wireEvent
+	DumpedAt string
+	Reason   string
+}
+
+// LoadDump reads a crash dump back, verifying the CRC trailer.
+func LoadDump(path string) (*Dump, error) {
+	data, err := atomicfile.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc eventsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("flight: %s: %w", path, err)
+	}
+	return &Dump{
+		Recorded: doc.Recorded,
+		Events:   doc.Events,
+		Kept:     doc.Kept,
+		DumpedAt: doc.DumpedAt,
+		Reason:   doc.Reason,
+	}, nil
+}
+
+// HandleCrash is the deferred crash hook: on panic it records a final
+// wide event, dumps the Default ring to its configured path, and
+// re-panics so the process still dies loudly. Use as the first deferred
+// call in main:
+//
+//	defer flight.HandleCrash()
+func HandleCrash() {
+	if r := recover(); r != nil {
+		CrashDump(fmt.Sprintf("panic: %v", r))
+		panic(r)
+	}
+}
+
+// CrashDump records a terminal server event and dumps the Default ring
+// (no-op when no dump path is configured). Daemons call it on fatal
+// exits; HandleCrash calls it on panics.
+func CrashDump(reason string) {
+	d := Default()
+	d.Record(Event{
+		Kind:    KindServer,
+		Verdict: "crash",
+		Flags:   FlagErr,
+		Detail:  reason,
+	})
+	if path, err := d.Dump(reason); err != nil {
+		obs.Logger("flight").Error("crash dump failed", "path", path, "error", err)
+	} else if path != "" {
+		obs.Logger("flight").Error("crash dump written", "path", path, "reason", reason)
+	}
+}

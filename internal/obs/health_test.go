@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthReadyAggregation(t *testing.T) {
+	h := NewHealth()
+	h.SetInfo("zone", "bl.test.example")
+
+	// No checks: ready by default.
+	if ready, _, _ := h.Ready(); !ready {
+		t.Fatal("empty health set not ready")
+	}
+
+	ok := true
+	h.AddCheck("breaker", func() (bool, string) {
+		if ok {
+			return true, "closed"
+		}
+		return false, "open"
+	})
+	h.AddCheck("always", func() (bool, string) { return true, "fine" })
+
+	ready, results, info := h.Ready()
+	if !ready {
+		t.Fatalf("all-passing checks reported not ready: %+v", results)
+	}
+	if info["zone"] != "bl.test.example" {
+		t.Errorf("info lost: %+v", info)
+	}
+
+	ok = false
+	ready, results, _ = h.Ready()
+	if ready {
+		t.Fatal("failing check did not flip readiness")
+	}
+	if r := results["breaker"]; r.OK || r.Detail != "open" {
+		t.Errorf("breaker result = %+v, want failing with detail", r)
+	}
+	if r := results["always"]; !r.OK {
+		t.Errorf("unrelated check dragged down: %+v", r)
+	}
+}
+
+func TestHealthHandlers(t *testing.T) {
+	h := NewHealth()
+	h.SetInfo("udp_addr", "127.0.0.1:5354")
+	fail := false
+	h.AddCheck("feed", func() (bool, string) {
+		if fail {
+			return false, "stale"
+		}
+		return true, "fresh"
+	})
+
+	rec := httptest.NewRecorder()
+	h.LiveHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	decode := func(code int, body []byte) (doc struct {
+		Ready  bool `json:"ready"`
+		Checks map[string]struct {
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		} `json:"checks"`
+		Info map[string]string `json:"info"`
+	}) {
+		t.Helper()
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("/readyz (%d) not JSON: %v\n%s", code, err, body)
+		}
+		return doc
+	}
+
+	rec = httptest.NewRecorder()
+	h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	doc := decode(rec.Code, rec.Body.Bytes())
+	if rec.Code != 200 || !doc.Ready {
+		t.Fatalf("ready /readyz = %d ready=%v", rec.Code, doc.Ready)
+	}
+	if doc.Info["udp_addr"] != "127.0.0.1:5354" {
+		t.Errorf("readyz info missing udp_addr: %+v", doc.Info)
+	}
+
+	fail = true
+	rec = httptest.NewRecorder()
+	h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	doc = decode(rec.Code, rec.Body.Bytes())
+	if rec.Code != 503 || doc.Ready {
+		t.Fatalf("failing /readyz = %d ready=%v, want 503 not-ready", rec.Code, doc.Ready)
+	}
+	if c := doc.Checks["feed"]; c.OK || c.Detail != "stale" {
+		t.Errorf("failing check rendered as %+v", c)
+	}
+}
+
+func TestParseLevelOK(t *testing.T) {
+	for _, tc := range []struct {
+		in string
+		ok bool
+	}{
+		{"debug", true}, {"INFO", true}, {"warn", true}, {"Error", true},
+		{"", true}, {"verbose", false}, {"2", false},
+	} {
+		if _, ok := ParseLevel(tc.in); ok != tc.ok {
+			t.Errorf("ParseLevel(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+		}
+	}
+}

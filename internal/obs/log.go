@@ -29,15 +29,25 @@ func init() {
 }
 
 func parseLevel(s string) slog.Level {
+	l, _ := ParseLevel(s)
+	return l
+}
+
+// ParseLevel resolves a log-level name (debug, info, warn, error;
+// case-insensitive). Unknown names report ok=false and default to info,
+// so flag parsing can reject them while env parsing stays forgiving.
+func ParseLevel(s string) (_ slog.Level, ok bool) {
 	switch strings.ToLower(s) {
 	case "debug":
-		return slog.LevelDebug
+		return slog.LevelDebug, true
+	case "", "info":
+		return slog.LevelInfo, true
 	case "warn":
-		return slog.LevelWarn
+		return slog.LevelWarn, true
 	case "error":
-		return slog.LevelError
+		return slog.LevelError, true
 	}
-	return slog.LevelInfo
+	return slog.LevelInfo, false
 }
 
 // SetLogOutput replaces the process-global log sink. All loggers

@@ -70,17 +70,22 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 }
 
+// bucketFor maps a nanosecond duration to its bucket index.
+func bucketFor(ns uint64) int {
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
 // Observe records one duration. Negative durations count as zero.
 func (h *Histogram) Observe(d time.Duration) {
 	ns := uint64(0)
 	if d > 0 {
 		ns = uint64(d)
 	}
-	i := bits.Len64(ns)
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.buckets[i].Add(1)
+	h.buckets[bucketFor(ns)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(ns)
 }
@@ -100,18 +105,34 @@ func bucketUpper(i int) uint64 {
 	return uint64(1) << uint(i)
 }
 
-// Quantile returns the q-quantile (0 < q ≤ 1) of the observed
+// NoData is the documented sentinel Quantile returns for a histogram
+// (or window) holding no observations. It is negative, so it can never
+// be confused with a real duration, and callers that render quantiles
+// must check for it rather than printing garbage.
+const NoData = time.Duration(-1)
+
+// Quantile returns the q-quantile (clamped to [0, 1]) of the observed
 // durations, interpolated within the matched bucket. With no
-// observations it returns 0.
+// observations it returns the NoData sentinel. Observations that landed
+// in the unbounded top bucket report that bucket's floor (≈4.6
+// minutes) — the histogram cannot know how far beyond it they ran.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	var counts [histBuckets]uint64
-	total := uint64(0)
 	for i := range counts {
 		counts[i] = h.buckets[i].Load()
-		total += counts[i]
+	}
+	return quantileOf(&counts, q)
+}
+
+// quantileOf is the shared quantile core over one bucket array; both
+// Histogram and WindowedHistogram resolve their quantiles through it.
+func quantileOf(counts *[histBuckets]uint64, q float64) time.Duration {
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
 	}
 	if total == 0 {
-		return 0
+		return NoData
 	}
 	if q < 0 {
 		q = 0
@@ -144,6 +165,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 }
 
 // HistSnapshot is a point-in-time quantile summary of a Histogram.
+// With zero observations the quantile fields hold the NoData sentinel.
 type HistSnapshot struct {
 	Count         uint64
 	Sum           time.Duration

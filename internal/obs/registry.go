@@ -15,6 +15,9 @@ const (
 	KindCounter Kind = iota
 	KindGauge
 	KindHistogram
+	KindWindowedCounter
+	KindWindowedHistogram
+	KindSLO
 )
 
 func (k Kind) String() string {
@@ -25,8 +28,27 @@ func (k Kind) String() string {
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
+	case KindWindowedCounter:
+		return "windowed_counter"
+	case KindWindowedHistogram:
+		return "windowed_histogram"
+	case KindSLO:
+		return "slo"
 	}
 	return "unknown"
+}
+
+// promType maps a kind to the Prometheus TYPE keyword its text
+// exposition uses. Windowed series and SLO burn rates are point-in-time
+// computed values, so they expose as gauges.
+func (k Kind) promType() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "gauge"
 }
 
 // Metric is one registered metric plus its exposition metadata.
@@ -40,9 +62,12 @@ type Metric struct {
 
 	labels []string // alternating key, value pairs, escaped at render
 
-	c *Counter
-	g *Gauge
-	h *Histogram
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	wc  *WindowedCounter
+	wh  *WindowedHistogram
+	slo *SLO
 }
 
 // FullName renders the Prometheus series name: name{k="v",...}.
@@ -128,43 +153,125 @@ var defaultRegistry = NewRegistry()
 func Default() *Registry { return defaultRegistry }
 
 // Counter returns the counter registered under name and the optional
-// alternating label key/value pairs, creating it on first use. It
-// panics if the series exists with a different kind or the label list
-// has odd length — both programmer errors.
+// alternating label key/value pairs, creating it on first use. Label
+// order is canonicalized: the same name with the same pairs in any
+// order resolves to one series. Misuse (a kind collision, an odd label
+// list, an empty name) must never take a serving daemon down, so it
+// does not panic: the error is logged and a live but detached metric is
+// returned — usable by the caller, invisible to scrapes. Use Register
+// to observe the error directly.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	m := r.lookup(name, help, KindCounter, labels)
+	m, err := r.Register(KindCounter, name, help, labels...)
+	if err != nil {
+		registryMisuse(err)
+		return new(Counter)
+	}
 	return m.c
 }
 
 // Gauge is Counter for gauges.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	m := r.lookup(name, help, KindGauge, labels)
+	m, err := r.Register(KindGauge, name, help, labels...)
+	if err != nil {
+		registryMisuse(err)
+		return new(Gauge)
+	}
 	return m.g
 }
 
 // Histogram is Counter for histograms.
 func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
-	m := r.lookup(name, help, KindHistogram, labels)
+	m, err := r.Register(KindHistogram, name, help, labels...)
+	if err != nil {
+		registryMisuse(err)
+		return new(Histogram)
+	}
 	return m.h
 }
 
-func (r *Registry) lookup(name, help string, kind Kind, labels []string) *Metric {
+// WindowedCounter is Counter for rolling-window counters.
+func (r *Registry) WindowedCounter(name, help string, labels ...string) *WindowedCounter {
+	m, err := r.Register(KindWindowedCounter, name, help, labels...)
+	if err != nil {
+		registryMisuse(err)
+		return NewWindowedCounter()
+	}
+	return m.wc
+}
+
+// WindowedHistogram is Counter for rolling-window histograms.
+func (r *Registry) WindowedHistogram(name, help string, labels ...string) *WindowedHistogram {
+	m, err := r.Register(KindWindowedHistogram, name, help, labels...)
+	if err != nil {
+		registryMisuse(err)
+		return NewWindowedHistogram()
+	}
+	return m.wh
+}
+
+// RegisterSLO registers an SLO for exposition under slo.Name (get-or-
+// create like every other kind: registering the same name+labels twice
+// returns the first SLO). The good/total counters are the caller's; the
+// registry only renders burn rates from them. Misuse is logged and the
+// argument returned detached, never a panic.
+func (r *Registry) RegisterSLO(slo *SLO, labels ...string) *SLO {
+	if slo == nil {
+		registryMisuse(fmt.Errorf("obs: nil SLO"))
+		return slo
+	}
+	if slo.Name == "" || len(labels)%2 != 0 {
+		registryMisuse(fmt.Errorf("obs: SLO %q: empty name or odd label list %q", slo.Name, labels))
+		return slo
+	}
+	labels = canonicalLabels(labels)
+	key := slo.Name + "\x00" + strings.Join(labels, "\x00")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.Kind != KindSLO {
+			registryMisuse(fmt.Errorf("obs: metric %s registered as %s, requested as slo", slo.Name, m.Kind))
+			return slo
+		}
+		return m.slo
+	}
+	r.byKey[key] = &Metric{Name: slo.Name, Help: slo.Help, Kind: KindSLO, labels: labels, slo: slo}
+	return slo
+}
+
+// registryMisuse reports a registration programmer error without
+// crashing the process: observability must never be the reason the
+// daemon died.
+func registryMisuse(err error) {
+	Logger("obs").Error("metric registration misuse; returning detached metric", "error", err)
+}
+
+// Register is the error-returning get-or-create: it returns the metric
+// registered under kind+name+labels, creating it on first use, or an
+// error when the series already exists as a different kind, the label
+// list has odd length, or the name is empty. Label pairs are sorted by
+// key before keying, so registration order of labels never splits a
+// series. SLOs register through RegisterSLO, not here.
+func (r *Registry) Register(kind Kind, name, help string, labels ...string) (*Metric, error) {
 	if name == "" {
-		panic("obs: empty metric name")
+		return nil, fmt.Errorf("obs: empty metric name")
+	}
+	if kind == KindSLO {
+		return nil, fmt.Errorf("obs: metric %s: SLOs register through RegisterSLO", name)
 	}
 	if len(labels)%2 != 0 {
-		panic(fmt.Sprintf("obs: metric %s: odd label list %q", name, labels))
+		return nil, fmt.Errorf("obs: metric %s: odd label list %q", name, labels)
 	}
+	labels = canonicalLabels(labels)
 	key := name + "\x00" + strings.Join(labels, "\x00")
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.byKey[key]; ok {
 		if m.Kind != kind {
-			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, m.Kind, kind))
+			return nil, fmt.Errorf("obs: metric %s registered as %s, requested as %s", name, m.Kind, kind)
 		}
-		return m
+		return m, nil
 	}
-	m := &Metric{Name: name, Help: help, Kind: kind, labels: append([]string(nil), labels...)}
+	m := &Metric{Name: name, Help: help, Kind: kind, labels: labels}
 	switch kind {
 	case KindCounter:
 		m.c = new(Counter)
@@ -172,9 +279,27 @@ func (r *Registry) lookup(name, help string, kind Kind, labels []string) *Metric
 		m.g = new(Gauge)
 	case KindHistogram:
 		m.h = new(Histogram)
+	case KindWindowedCounter:
+		m.wc = NewWindowedCounter()
+	case KindWindowedHistogram:
+		m.wh = NewWindowedHistogram()
 	}
 	r.byKey[key] = m
-	return m
+	return m, nil
+}
+
+// canonicalLabels returns the pairs sorted by key (stable for equal
+// keys), always in a fresh slice.
+func canonicalLabels(labels []string) []string {
+	out := append([]string(nil), labels...)
+	// Insertion sort over pairs: label lists are short (1–3 pairs).
+	for i := 2; i < len(out); i += 2 {
+		for j := i; j > 0 && out[j] < out[j-2]; j -= 2 {
+			out[j], out[j-2] = out[j-2], out[j]
+			out[j+1], out[j-1] = out[j-1], out[j+1]
+		}
+	}
+	return out
 }
 
 // Metrics returns the registered metrics sorted by full series name —

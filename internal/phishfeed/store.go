@@ -9,6 +9,7 @@ import (
 
 	"unclean/internal/atomicfile"
 	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
 	"unclean/internal/retry"
 )
 
@@ -83,6 +84,15 @@ func ReadRetry(ctx context.Context, p retry.Policy, open func() (io.ReadCloser, 
 		mFeedLoads.Inc()
 		mFeedIncidents.Add(uint64(feed.Len()))
 		mFeedLastSuccess.Set(time.Now().Unix())
+		flight.Default().Record(flight.Event{
+			Kind: flight.KindFeedLoad, Name: "phishfeed", Verdict: "loaded",
+			Value: int64(feed.Len()),
+		})
+	} else if err != nil {
+		flight.Default().Record(flight.Event{
+			Kind: flight.KindFeedLoad, Name: "phishfeed", Verdict: "rejected",
+			Flags: flight.FlagErr, Detail: err.Error(),
+		})
 	}
 	return feed, err
 }

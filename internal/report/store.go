@@ -12,6 +12,7 @@ import (
 
 	"unclean/internal/atomicfile"
 	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
 	"unclean/internal/retry"
 )
 
@@ -65,9 +66,14 @@ func (inv *Inventory) SaveDir(dir string) error {
 // filename. Files carrying a CRC trailer are verified against it. Files
 // that fail to parse abort the load with a path-tagged error.
 func LoadDir(dir string) (*Inventory, error) {
+	start := time.Now()
 	inv, err := loadDir(dir)
 	if err != nil {
 		mFeedRejects.Inc()
+		flight.Default().Record(flight.Event{
+			Kind: flight.KindFeedLoad, Name: dir, Verdict: "rejected",
+			Flags: flight.FlagErr, Detail: err.Error(), Latency: time.Since(start),
+		})
 		return nil, err
 	}
 	mFeedLoads.Inc()
@@ -78,6 +84,10 @@ func LoadDir(dir string) (*Inventory, error) {
 	}
 	mFeedAddrs.Add(uint64(total))
 	mFeedLastSuccess.Set(time.Now().Unix())
+	flight.Default().Record(flight.Event{
+		Kind: flight.KindFeedLoad, Name: dir, Verdict: "loaded",
+		Value: int64(len(inv.Reports)), Latency: time.Since(start),
+	})
 	return inv, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
 )
 
 // Breaker telemetry: trips and closes are rare, load-bearing events, so
@@ -83,6 +84,11 @@ func (b *Breaker) Record(err error) {
 		if wasOpen {
 			mCloses.Inc()
 			breakerLog.Info("circuit closed")
+			flight.Default().Record(flight.Event{
+				Kind:    flight.KindBreaker,
+				Flags:   flight.FlagRecovered,
+				Verdict: "closed",
+			})
 		}
 		return
 	}
@@ -95,6 +101,13 @@ func (b *Breaker) Record(err error) {
 			mTrips.Inc()
 			breakerLog.Warn("circuit opened",
 				"failures", b.failures, "cooldown", b.cooldown)
+			flight.Default().Record(flight.Event{
+				Kind:    flight.KindBreaker,
+				Flags:   flight.FlagErr,
+				Verdict: "open",
+				Detail:  err.Error(),
+				Value:   int64(b.failures),
+			})
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"unclean/internal/atomicfile"
 	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
 )
 
 // Tracker checkpoint telemetry (obs default registry). atomicfile
@@ -41,11 +42,19 @@ func (t *Tracker) SaveFile(path string) error {
 // saveFileHook is the fault-injection seam the chaos tests drive.
 func (t *Tracker) saveFileHook(path string, hook atomicfile.Hook) error {
 	start := time.Now()
+	ev := flight.Event{Kind: flight.KindCheckpoint, Name: path, Verdict: "saved"}
+	defer func() {
+		ev.Latency = time.Since(start)
+		flight.Default().Record(ev)
+	}()
 	var buf bytes.Buffer
 	if err := t.Save(&buf); err != nil {
+		ev.Verdict, ev.Flags, ev.Detail = "save_error", flight.FlagErr, err.Error()
 		return fmt.Errorf("tracker: checkpoint %s: %w", path, err)
 	}
+	ev.Value = int64(buf.Len())
 	if err := atomicfile.WriteCheckpointHook(path, buf.Bytes(), hook); err != nil {
+		ev.Verdict, ev.Flags, ev.Detail = "save_error", flight.FlagErr, err.Error()
 		return fmt.Errorf("tracker: checkpoint %s: %w", path, err)
 	}
 	mSaveSeconds.Observe(time.Since(start))
@@ -56,8 +65,14 @@ func (t *Tracker) saveFileHook(path string, hook atomicfile.Hook) error {
 // path: the file itself if it verifies, else its .prev generation.
 func LoadFile(path string) (*Tracker, error) {
 	start := time.Now()
+	ev := flight.Event{Kind: flight.KindCheckpoint, Name: path, Verdict: "loaded"}
+	defer func() {
+		ev.Latency = time.Since(start)
+		flight.Default().Record(ev)
+	}()
 	data, err := atomicfile.LoadCheckpoint(path)
 	if err != nil {
+		ev.Verdict, ev.Flags, ev.Detail = "load_error", flight.FlagErr, err.Error()
 		return nil, err
 	}
 	t, err := Load(bytes.NewReader(data))
@@ -71,9 +86,11 @@ func LoadFile(path string) (*Tracker, error) {
 				obs.Logger("tracker").Warn("recovered previous checkpoint generation",
 					"path", path, "error", err)
 				mLoadSeconds.Observe(time.Since(start))
+				ev.Verdict, ev.Flags = "recovered_prev", flight.FlagRecovered
 				return tp, nil
 			}
 		}
+		ev.Verdict, ev.Flags, ev.Detail = "load_error", flight.FlagErr, err.Error()
 		return nil, err
 	}
 	mLoadSeconds.Observe(time.Since(start))
