@@ -37,12 +37,20 @@
 //	curl -s http://127.0.0.1:9090/readyz
 //	curl -s 'http://127.0.0.1:9090/debug/events?kind=query&n=10'
 //
+// With -shards the daemon serves through the batched sharded path
+// instead of the legacy worker pool: N SO_REUSEPORT sockets (where the
+// platform supports them), recvmmsg/sendmmsg batches of -batch
+// datagrams, and a per-shard verdict cache. -tcp adds a TCP listener on
+// the same address for TC-bit retries, and -max-udp shrinks the UDP
+// response limit that triggers them.
+//
 // Usage:
 //
 //	dnsbld [-listen ADDR] [-zone bl.unclean.example] [-threshold 0.6]
 //	       [-scale N] [-seed N] [-selfcheck N] [-metrics ADDR]
 //	       [-reports DIR] [-reload DUR] [-checkpoint PATH]
 //	       [-checkpoint-every DUR] [-halflife DUR] [-workers N] [-queue N]
+//	       [-shards N] [-batch N] [-tcp] [-max-udp N]
 //	       [-log-format text|json] [-log-level LEVEL] [-flight-dump PATH]
 package main
 
@@ -103,6 +111,9 @@ type options struct {
 	checkpointEvery time.Duration
 	halfLife        time.Duration
 	workers, queue  int
+	shards, batch   int
+	maxUDP          int
+	tcp             bool
 	logFormat       string
 	logLevel        string
 	flightDump      string
@@ -123,8 +134,12 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "crash-safe tracker checkpoint path (loaded at startup if present)")
 	fs.DurationVar(&o.checkpointEvery, "checkpoint-every", 5*time.Minute, "periodic checkpoint interval")
 	fs.DurationVar(&o.halfLife, "halflife", 42*24*time.Hour, "tracker evidence half-life")
-	fs.IntVar(&o.workers, "workers", 0, "server worker pool size (0 = GOMAXPROCS)")
-	fs.IntVar(&o.queue, "queue", 0, "server packet queue length (0 = default)")
+	fs.IntVar(&o.workers, "workers", 0, "server worker pool size (0 = GOMAXPROCS; legacy path only)")
+	fs.IntVar(&o.queue, "queue", 0, "server packet queue length (0 = default; legacy path only)")
+	fs.IntVar(&o.shards, "shards", 0, "serve with this many batched SO_REUSEPORT shards (-1 = one per core, 0 = legacy worker pool)")
+	fs.IntVar(&o.batch, "batch", 0, "datagrams per batched syscall on the sharded path (0 = default)")
+	fs.IntVar(&o.maxUDP, "max-udp", 0, "UDP response size limit; larger answers are truncated with TC set (0 = 512)")
+	fs.BoolVar(&o.tcp, "tcp", false, "also answer queries over TCP on the same address (serves TC-bit retries)")
 	fs.StringVar(&o.logFormat, "log-format", "", "log format: text or json (overrides "+formatEnv+"; empty defers to env)")
 	fs.StringVar(&o.logLevel, "log-level", "", "log level: debug, info, warn, error (overrides "+levelEnv+"; empty defers to env)")
 	fs.StringVar(&o.flightDump, "flight-dump", "", "flight-recorder crash dump path (overrides "+flight.DumpPathEnv+"; empty defers to env)")
@@ -388,19 +403,35 @@ func run(ctx context.Context, args []string) error {
 	saveCheckpoint(o, tr)
 
 	list := listFromTracker(tr, o.threshold)
-	fmt.Printf("serving %d listed /24s in zone %s on %s (threshold %.2f)\n",
-		list.Len(), o.zone, o.listen, o.threshold)
 
-	conn, err := net.ListenPacket("udp", o.listen)
+	// Bind the serving sockets: one PacketConn for the legacy worker
+	// pool, or a SO_REUSEPORT group for the sharded batched path.
+	var conns []net.PacketConn
+	if o.shards != 0 {
+		conns, err = dnsbl.ListenShards(o.listen, o.shards)
+	} else {
+		var c net.PacketConn
+		c, err = net.ListenPacket("udp", o.listen)
+		conns = []net.PacketConn{c}
+	}
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	udpAddr := conns[0].LocalAddr().String()
+	fmt.Printf("serving %d listed /24s in zone %s on %s (threshold %.2f, %d sockets)\n",
+		list.Len(), o.zone, udpAddr, o.threshold, len(conns))
+
 	srv, err := dnsbl.NewServer(o.zone, list, 5*time.Minute)
 	if err != nil {
 		return err
 	}
 	srv.SetConcurrency(o.workers, o.queue)
+	srv.SetMaxUDPSize(o.maxUDP)
 
 	// Readiness plumbing: the breaker and last-load stamp exist even in
 	// selfcheck mode so /readyz can always report them.
@@ -410,7 +441,7 @@ func run(ctx context.Context, args []string) error {
 
 	if o.metrics != "" {
 		health := buildHealth(o, srv, breaker, &lastLoad)
-		health.SetInfo("udp_addr", conn.LocalAddr().String())
+		health.SetInfo("udp_addr", udpAddr)
 		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), obs.Default(), srv.Metrics())
 		if err != nil {
 			return err
@@ -421,14 +452,40 @@ func run(ctx context.Context, args []string) error {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(sctx, conn) }()
+	go func() {
+		if o.shards != 0 {
+			serveErr <- srv.ServeConns(sctx, conns, dnsbl.ShardConfig{Shards: o.shards, Batch: o.batch})
+		} else {
+			serveErr <- srv.Serve(sctx, conns[0])
+		}
+	}()
+
+	// The TCP listener binds the address the UDP sockets resolved to, so
+	// a client's TC-bit retry lands on the same host:port it queried.
+	var tcpErr chan error
+	if o.tcp {
+		ln, err := net.Listen("tcp", udpAddr)
+		if err != nil {
+			cancel()
+			<-serveErr
+			return fmt.Errorf("tcp listen: %w", err)
+		}
+		tcpErr = make(chan error, 1)
+		go func() { tcpErr <- srv.ServeTCP(sctx, ln) }()
+	}
+	drainTCP := func() {
+		if tcpErr != nil {
+			<-tcpErr
+		}
+	}
 
 	if o.selfcheck > 0 {
 		// Demonstration mode: query a few listed blocks through the real
 		// UDP path and exit.
-		err := selfcheck(conn.LocalAddr().String(), o, srv, list)
+		err := selfcheck(udpAddr, o, srv, list)
 		cancel()
 		<-serveErr // graceful drain before the socket closes
+		drainTCP()
 		return err
 	}
 
@@ -453,12 +510,15 @@ func run(ctx context.Context, args []string) error {
 			// Graceful shutdown: Serve drains accepted queries, then a
 			// final checkpoint records everything observed.
 			<-serveErr
+			drainTCP()
 			saveCheckpoint(o, tr)
 			st := srv.Snapshot()
 			fmt.Printf("shutdown: %d queries (%d listed, %d malformed, %d dropped, %d shed)\n",
 				st.Queries, st.Hits, st.Malformed, st.Dropped, st.Shed)
 			return nil
 		case err := <-serveErr:
+			cancel()
+			drainTCP()
 			saveCheckpoint(o, tr)
 			return err // the socket died underneath us
 		case <-reloadC:

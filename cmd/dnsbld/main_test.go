@@ -426,3 +426,44 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		t.Errorf("log flags lost: %+v", o)
 	}
 }
+
+// TestRunShardedSelfcheckWithTCP boots the daemon on the sharded
+// batched path with a TCP listener and a deliberately tiny UDP response
+// limit, so the selfcheck lookups travel the whole line-rate stack:
+// SO_REUSEPORT shards answer with TC set, and the client's TC-bit
+// retry completes over TCP.
+func TestRunShardedSelfcheckWithTCP(t *testing.T) {
+	dir := t.TempDir()
+	writeReports(t, dir)
+	err := run(context.Background(), []string{
+		"-listen", "127.0.0.1:0", "-reports", dir, "-threshold", "0.5",
+		"-selfcheck", "2", "-shards", "2", "-batch", "8", "-tcp", "-max-udp", "50",
+	})
+	if err != nil {
+		t.Fatalf("sharded selfcheck with TCP retry: %v", err)
+	}
+}
+
+// The sharded path must also shut down gracefully from serving mode.
+func TestRunShardedGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	writeReports(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-reports", dir, "-threshold", "0.5",
+			"-selfcheck", "0", "-shards", "-1", "-tcp",
+		})
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sharded run did not shut down after cancel")
+	}
+}

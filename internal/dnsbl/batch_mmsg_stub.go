@@ -1,0 +1,12 @@
+//go:build !(linux && (amd64 || arm64))
+
+package dnsbl
+
+import "net"
+
+// newMmsgBatcher is unavailable here: either the OS has no
+// recvmmsg/sendmmsg or the 32-bit Msghdr layout differs from the one
+// the linux batcher assumes. Returning nil sends newBatcher to the
+// portable one-datagram-per-syscall path, which is functionally
+// identical.
+func newMmsgBatcher(conn *net.UDPConn, ms []batchMsg) batchIO { return nil }

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -102,16 +103,70 @@ func lookupOnce(server, zone string, addr netaddr.Addr, timeout time.Duration) (
 		if err != nil || resp.ID != q.ID || !resp.Response {
 			continue
 		}
-		if resp.RCode == RCodeNXDomain {
-			return false, 0, nil
+		if resp.Truncated {
+			// TC bit: the full answer did not fit the UDP limit. Retry
+			// the same query over TCP (RFC 1035 §4.2.1), reusing what
+			// remains of this attempt's deadline.
+			return lookupTCP(server, pkt, q.ID, deadline)
 		}
-		for _, a := range resp.Answers {
-			if a.Type == TypeA && len(a.Data) == 4 {
-				return true, netaddr.MakeAddr(a.Data[0], a.Data[1], a.Data[2], a.Data[3]), nil
-			}
-		}
-		return false, 0, nil
+		listed, code := answerFrom(resp)
+		return listed, code, nil
 	}
+}
+
+// answerFrom extracts the (listed, code) verdict from a decoded
+// response. Split out so the UDP and TCP legs cannot drift.
+func answerFrom(resp *Message) (bool, netaddr.Addr) {
+	if resp.RCode == RCodeNXDomain {
+		return false, 0
+	}
+	for _, a := range resp.Answers {
+		if a.Type == TypeA && len(a.Data) == 4 {
+			return true, netaddr.MakeAddr(a.Data[0], a.Data[1], a.Data[2], a.Data[3])
+		}
+	}
+	return false, 0
+}
+
+// lookupTCP resends an already-encoded query over TCP with RFC 1035
+// §4.2.2 two-byte length framing, for answers the UDP transport
+// truncated.
+func lookupTCP(server string, pkt []byte, id uint16, deadline time.Time) (bool, netaddr.Addr, error) {
+	conn, err := net.Dial("tcp", server)
+	if err != nil {
+		return false, 0, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline); err != nil {
+		return false, 0, err
+	}
+	framed := make([]byte, 2+len(pkt))
+	binary.BigEndian.PutUint16(framed, uint16(len(pkt)))
+	copy(framed[2:], pkt)
+	if _, err := conn.Write(framed); err != nil {
+		return false, 0, err
+	}
+	var lenb [2]byte
+	if _, err := io.ReadFull(conn, lenb[:]); err != nil {
+		return false, 0, err
+	}
+	n := int(binary.BigEndian.Uint16(lenb[:]))
+	if n == 0 {
+		return false, 0, retry.Permanent(fmt.Errorf("dnsbl: empty TCP response"))
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return false, 0, err
+	}
+	resp, err := Decode(buf)
+	if err != nil {
+		return false, 0, retry.Permanent(err)
+	}
+	if resp.ID != id || !resp.Response {
+		return false, 0, retry.Permanent(fmt.Errorf("dnsbl: mismatched TCP response"))
+	}
+	listed, code := answerFrom(resp)
+	return listed, code, nil
 }
 
 // IsTimeout reports whether err is a deadline-style failure — the

@@ -48,6 +48,9 @@ type Message struct {
 	ID                 uint16
 	Response           bool
 	Authoritative      bool
+	// Truncated is the TC bit: the responder had more data than the
+	// transport allowed, and the client should retry over TCP.
+	Truncated          bool
 	RecursionDesired   bool
 	RecursionAvailable bool
 	RCode              uint8
@@ -67,6 +70,9 @@ func (m *Message) Encode() ([]byte, error) {
 	}
 	if m.Authoritative {
 		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
 	}
 	if m.RecursionDesired {
 		flags |= 1 << 8
@@ -129,6 +135,7 @@ func Decode(b []byte) (*Message, error) {
 	flags := binary.BigEndian.Uint16(b[2:])
 	m.Response = flags&(1<<15) != 0
 	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
 	m.RecursionDesired = flags&(1<<8) != 0
 	m.RecursionAvailable = flags&(1<<7) != 0
 	m.RCode = uint8(flags & 0x0f)

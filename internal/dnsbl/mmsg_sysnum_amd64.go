@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package dnsbl
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. The syscall
+// package's generated tables predate sendmmsg, so the numbers are
+// pinned here; they are ABI-frozen and will never change.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package dnsbl
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (the generic
+// asm-generic table). ABI-frozen.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,28 @@
+//go:build linux
+
+package dnsbl
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT, absent from the bootstrap-era syscall
+// package's constant tables but ABI-frozen at 15 on every Linux arch.
+const soReusePort = 0xf
+
+// supportsReusePort reports whether ListenShards can bind multiple
+// sockets to one address. On Linux the kernel hashes each 4-tuple to
+// one member of the SO_REUSEPORT group, giving the shards kernel-level
+// load balancing with no userspace dispatcher.
+const supportsReusePort = true
+
+// reusePortControl is the net.ListenConfig hook that flips
+// SO_REUSEPORT on the socket before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -43,6 +43,22 @@ type Server struct {
 	workers  int
 	queueLen int
 
+	// maxUDP bounds UDP responses: anything larger is truncated to
+	// header + question with the TC bit set, telling the client to
+	// retry over TCP. Defaults to the classic 512-byte DNS limit; tests
+	// shrink it to force the truncation path.
+	maxUDP int
+
+	// zoneWire is the server's zone in DNS wire format (lowercased
+	// labels, terminal root label), precomputed so the batched fast
+	// path can match query names without allocating.
+	zoneWire []byte
+
+	// shards is set by ServeConns for ShardSnapshots; nil when serving
+	// through the legacy single-socket worker pool.
+	shardsMu sync.Mutex
+	shards   []*shard
+
 	metrics   *obs.Registry
 	queries   *obs.Counter   // well-formed queries handled
 	hits      *obs.Counter   // queries that matched a listing
@@ -78,12 +94,16 @@ type Server struct {
 }
 
 // compiledList pairs the source trie (kept for List and re-export) with
-// its compiled matcher (what queries actually probe). Both swap together
-// under one atomic pointer, so a reload is a single compile + store and
-// the hot path never sees a trie/matcher mismatch.
+// its compiled matcher (what queries actually probe) and a monotonically
+// increasing generation number. All three swap together under one atomic
+// pointer, so a reload is a single compile + store, the hot path never
+// sees a trie/matcher mismatch, and the shards' verdict caches — keyed
+// on (address, generation) — invalidate wholesale on the generation
+// bump without a flush.
 type compiledList struct {
 	trie    *blocklist.Trie
 	matcher *blocklist.Matcher
+	gen     uint32
 }
 
 // ServerStats is a point-in-time snapshot of the serving counters and
@@ -127,8 +147,14 @@ func NewServer(zone string, list *blocklist.Trie, ttl time.Duration) (*Server, e
 		ttl:      uint32(ttl / time.Second),
 		workers:  runtime.GOMAXPROCS(0),
 		queueLen: 1024,
+		maxUDP:   maxMessage,
 	}
-	s.list.Store(&compiledList{trie: list, matcher: blocklist.Compile(list)})
+	zw, err := encodeName(s.zone)
+	if err != nil {
+		return nil, fmt.Errorf("dnsbl: bad zone: %w", err)
+	}
+	s.zoneWire = toLowerWire(zw)
+	s.list.Store(&compiledList{trie: list, matcher: blocklist.Compile(list), gen: 1})
 	s.bufs.New = func() any { b := make([]byte, maxMessage); return &b }
 	s.metrics = obs.NewRegistry()
 	z := []string{"zone", s.zone}
@@ -172,11 +198,41 @@ func (s *Server) SetConcurrency(workers, queue int) {
 // SetList atomically replaces the served blocklist (live reload). The
 // list is compiled off the serving path, then swapped in with one atomic
 // store. It is safe to call while Serve is running; in-flight queries
-// finish against whichever compiled list they started with.
+// finish against whichever compiled list they started with. The swap
+// bumps the list generation, which invalidates every shard's verdict
+// cache at once: a cache entry is only trusted when its recorded
+// generation matches the live list's.
 func (s *Server) SetList(list *blocklist.Trie) {
 	if list != nil {
-		s.list.Store(&compiledList{trie: list, matcher: blocklist.Compile(list)})
+		old := s.list.Load()
+		s.list.Store(&compiledList{trie: list, matcher: blocklist.Compile(list), gen: old.gen + 1})
 	}
+}
+
+// SetMaxUDPSize lowers the UDP response size limit (default 512 bytes).
+// Responses that exceed it are truncated to header + question with the
+// TC bit set, steering the client to TCP. Values below the 12-byte
+// header or above 512 are ignored. Call before Serve.
+func (s *Server) SetMaxUDPSize(n int) {
+	if n >= 12 && n <= maxMessage {
+		s.maxUDP = n
+	}
+}
+
+// Generation returns the current blocklist generation (bumped by every
+// SetList). Exposed for tests asserting cache invalidation.
+func (s *Server) Generation() uint32 { return s.list.Load().gen }
+
+// toLowerWire lowercases the label bytes of a wire-format name in place
+// and returns it (label lengths are < 'A', so a blanket byte lowercase
+// is safe for ASCII zones).
+func toLowerWire(b []byte) []byte {
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return b
 }
 
 // List returns the currently served blocklist.
@@ -232,9 +288,19 @@ type packet struct {
 }
 
 // Serve answers queries on conn until the connection is closed or ctx is
-// canceled. On cancellation it stops reading, drains every packet
-// already queued (workers finish their responses), and returns nil — a
-// graceful shutdown. Closing conn without canceling also returns nil.
+// canceled. On cancellation the connection is closed — that is the
+// wakeup: the blocked ReadFrom returns net.ErrClosed, which is treated
+// as a clean exit. Workers then finish handling every packet already
+// queued; responses whose write races the close are counted Dropped
+// rather than silently lost, so Queries - Dropped always equals the
+// responses that actually left the socket. Closing conn without
+// canceling also returns nil.
+//
+// Serve is the legacy single-socket worker-pool path (one ReadFrom
+// syscall per packet, explicit shed valve on queue overflow). The
+// batched sharded path — ServeConns over ListenShards — is the
+// line-rate replacement; this path remains for callers that need the
+// worker-queue overload semantics or hand in an arbitrary PacketConn.
 func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 	queue := make(chan packet, s.queueLen)
 	var wg sync.WaitGroup
@@ -251,17 +317,18 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 		}()
 	}
 
-	// The unblocker: on cancellation, poke the reader out of a blocking
-	// ReadFrom by moving the read deadline into the past.
-	stopUnblock := make(chan struct{})
-	var unblockWG sync.WaitGroup
-	unblockWG.Add(1)
+	// The closer: cancellation closes the conn, which is the one
+	// portable way to interrupt a blocked ReadFrom (deadlines are the
+	// caller's, and poking them raced with legitimate use).
+	stopCloser := make(chan struct{})
+	var closerWG sync.WaitGroup
+	closerWG.Add(1)
 	go func() {
-		defer unblockWG.Done()
+		defer closerWG.Done()
 		select {
 		case <-ctx.Done():
-			conn.SetReadDeadline(time.Unix(0, 1)) //nolint:errcheck // best effort
-		case <-stopUnblock:
+			conn.Close() //nolint:errcheck // best effort; read loop observes ErrClosed
+		case <-stopCloser:
 		}
 	}()
 
@@ -307,11 +374,8 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 
 	close(queue) // workers drain what was accepted, then exit
 	wg.Wait()
-	close(stopUnblock)
-	unblockWG.Wait()
-	if ctx.Err() == nil {
-		conn.SetReadDeadline(time.Time{}) //nolint:errcheck // restore for reuse
-	}
+	close(stopCloser)
+	closerWG.Wait()
 	return readErr
 }
 
@@ -355,17 +419,25 @@ func (s *Server) serveOne(conn net.PacketConn, pkt packet, arena *flight.Arena) 
 	if s.handleHook != nil {
 		s.handleHook()
 	}
-	resp := s.handle((*pkt.data)[:pkt.n], ev)
+	resp := s.handle((*pkt.data)[:pkt.n], s.maxUDP, ev)
 	if resp == nil {
 		// Unparseable packets drop silently, as real servers do — that is
 		// clean handling. An encode failure (FlagErr) is not.
 		good = ev.Flags&flight.FlagErr == 0
 		return
 	}
-	if _, err := conn.WriteTo(resp, pkt.peer); err != nil && !errors.Is(err, net.ErrClosed) {
+	if _, err := conn.WriteTo(resp, pkt.peer); err != nil {
+		// Every lost response is counted, including the ones that race
+		// the shutdown close: Queries - Dropped must equal responses
+		// that actually left the socket. A shutdown-race drop is not an
+		// error, though — the operator asked for it.
 		s.dropped.Inc()
-		ev.Flags |= flight.FlagErr
-		ev.Detail = "response write failed"
+		if errors.Is(err, net.ErrClosed) {
+			ev.Verdict = "closed"
+		} else {
+			ev.Flags |= flight.FlagErr
+			ev.Detail = "response write failed"
+		}
 		return
 	}
 	good = true
@@ -387,8 +459,11 @@ func peerAddr(a net.Addr) netaddr.Addr {
 
 // handle builds the response bytes for one query packet, or nil to
 // drop, annotating the packet's wide event with the subject address and
-// the one-word verdict.
-func (s *Server) handle(pkt []byte, ev *flight.Event) []byte {
+// the one-word verdict. maxSize bounds the encoded response: anything
+// larger is re-encoded as header + question with the TC bit set (the
+// client retries over TCP). TCP callers pass maxMessage, which no
+// DNSBL answer can exceed.
+func (s *Server) handle(pkt []byte, maxSize int, ev *flight.Event) []byte {
 	q, err := Decode(pkt)
 	if err != nil || q.Response || len(q.Questions) != 1 {
 		s.malformed.Inc()
@@ -437,6 +512,14 @@ func (s *Server) handle(pkt []byte, ev *flight.Event) []byte {
 		}
 	}
 	out, err := resp.Encode()
+	if err == nil && len(out) > maxSize {
+		// Too big for the transport: answer with TC set and no records,
+		// steering the client to retry over TCP (RFC 1035 §4.2.1).
+		resp.Answers = nil
+		resp.Truncated = true
+		ev.Verdict = "truncated"
+		out, err = resp.Encode()
+	}
 	if err != nil {
 		ev.Verdict = "encode_error"
 		ev.Flags |= flight.FlagErr

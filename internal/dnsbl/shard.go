@@ -1,0 +1,469 @@
+package dnsbl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
+)
+
+// The sharded serve path. Instead of one reader goroutine feeding a
+// worker pool through a channel (one syscall, one channel op, and one
+// pooled buffer per packet), ServeConns runs N independent shard loops.
+// Each shard owns a socket (SO_REUSEPORT gives every shard its own fd
+// on Linux, so the kernel load-balances queries with no userspace
+// dispatcher), a reusable batch of buffer slots, a private flight-event
+// arena, and a direct-mapped verdict cache. A loop iteration is:
+//
+//	recvmmsg (one syscall, up to Batch datagrams)
+//	  → for each: fast parse → cache probe → zero-copy encode
+//	  → sendmmsg (one syscall for the whole batch)
+//
+// Nothing on that path allocates and nothing crosses a goroutine
+// boundary, so throughput scales with shards until the NIC runs out.
+// Packets the fast codec cannot serve (wrong shape, non-A queries,
+// compressed names) drop to Server.handle — the same slow path the
+// legacy worker pool uses — so behavior is identical, just slower, for
+// the rare shapes.
+
+const (
+	defaultBatch = 32
+	maxBatch     = 1024
+	// defaultCacheBits gives 4096 verdict slots per shard (~36 KiB).
+	defaultCacheBits = 12
+	maxCacheBits     = 20
+	// shardEventSample records one wide event per this many healthy
+	// fast-path packets. Anomalies (slow path, send faults) always
+	// record. Sampling keeps the flight recorder useful at line rate
+	// without making the arena the hot path's only allocation source.
+	shardEventSample = 64
+)
+
+// ShardConfig sizes the sharded serve path. The zero value is ready to
+// use: one shard per listener conn, 32-packet batches, a 4096-entry
+// verdict cache per shard.
+type ShardConfig struct {
+	// Shards is the number of shard loops. 0 means one per conn handed
+	// to ServeConns. When Shards exceeds the conn count, shards share
+	// conns round-robin (the portable single-socket mode).
+	Shards int
+	// Batch is the number of datagrams moved per recvmmsg/sendmmsg
+	// syscall (clamped to 1..1024; 0 means 32).
+	Batch int
+	// CacheBits is log2 of the per-shard verdict cache slots (0 means
+	// 12; negative disables the cache; clamped to 20).
+	CacheBits int
+}
+
+func (c ShardConfig) withDefaults(conns int) ShardConfig {
+	if c.Shards <= 0 {
+		c.Shards = conns
+	}
+	if c.Batch <= 0 {
+		c.Batch = defaultBatch
+	}
+	if c.Batch > maxBatch {
+		c.Batch = maxBatch
+	}
+	if c.CacheBits == 0 {
+		c.CacheBits = defaultCacheBits
+	}
+	if c.CacheBits > maxCacheBits {
+		c.CacheBits = maxCacheBits
+	}
+	return c
+}
+
+// shard is one independent serve loop: its batch arena, its verdict
+// cache, its event arena, its counters. No field is touched by any
+// other goroutine while the loop runs, so the hot path takes no locks
+// beyond the obs atomics.
+type shard struct {
+	id int
+	io batchIO
+
+	msgs []batchMsg // len = Batch; in/out windows into the arenas below
+
+	// Direct-mapped verdict cache keyed on (query address, blocklist
+	// generation) — same slot-hash design as blocklist.Evaluator. keys
+	// holds the address, gens the generation the verdict was computed
+	// under, vals the verdict: 0 empty, 1 miss, else the low octet of
+	// the 127.0.0.x return code. A SetList bumps the server generation,
+	// which orphans every entry at once; slots rewrite lazily on the
+	// next probe. nil when the cache is disabled.
+	keys      []uint32
+	gens      []uint32
+	vals      []uint8
+	cacheBits uint32
+
+	arena  flight.Arena
+	evTick uint32
+
+	// Per-shard obs series (zone + shard labels), rolled up next to the
+	// server totals so a hot or faulty shard is visible in /metrics.
+	packets   *obs.Counter // datagrams received
+	batches   *obs.Counter // recvmmsg returns
+	fastPath  *obs.Counter // answered by the zero-copy codec
+	slowPath  *obs.Counter // handed to Server.handle
+	cacheHits *obs.Counter // fast-path verdicts served from the cache
+	shed      *obs.Counter // responses abandoned on transient send faults
+	dropped   *obs.Counter // responses lost to hard write errors
+}
+
+// ShardStats is a point-in-time snapshot of one shard's counters.
+type ShardStats struct {
+	Shard     int
+	Packets   uint64 // datagrams received
+	Batches   uint64 // batched reads (Packets/Batches = realized batch size)
+	FastPath  uint64 // packets answered by the zero-copy codec
+	SlowPath  uint64 // packets handed to the allocating slow path
+	CacheHits uint64 // fast-path verdicts served from the verdict cache
+	Shed      uint64 // responses abandoned on transient send faults
+	Dropped   uint64 // responses lost to hard write errors
+}
+
+func (s *Server) newShard(id int, conn net.PacketConn, cfg ShardConfig) *shard {
+	sh := &shard{id: id, msgs: make([]batchMsg, cfg.Batch)}
+	// One contiguous arena per direction: better locality than
+	// per-slot allocations, and a single GC object each.
+	inArena := make([]byte, cfg.Batch*maxMessage)
+	outArena := make([]byte, cfg.Batch*outSlotSize)
+	for i := range sh.msgs {
+		sh.msgs[i].in = inArena[i*maxMessage : (i+1)*maxMessage]
+		sh.msgs[i].out = outArena[i*outSlotSize : (i+1)*outSlotSize]
+	}
+	if cfg.CacheBits > 0 {
+		n := 1 << cfg.CacheBits
+		sh.keys = make([]uint32, n)
+		sh.gens = make([]uint32, n)
+		sh.vals = make([]uint8, n)
+		sh.cacheBits = uint32(cfg.CacheBits)
+	}
+	sh.io = newBatcher(conn, sh.msgs)
+	z := []string{"zone", s.zone, "shard", strconv.Itoa(id)}
+	sh.packets = s.metrics.Counter("unclean_dnsbl_shard_packets_total", "Datagrams received by this shard.", z...)
+	sh.batches = s.metrics.Counter("unclean_dnsbl_shard_batches_total", "Batched reads completed by this shard.", z...)
+	sh.fastPath = s.metrics.Counter("unclean_dnsbl_shard_fastpath_total", "Packets answered by the zero-copy codec.", z...)
+	sh.slowPath = s.metrics.Counter("unclean_dnsbl_shard_slowpath_total", "Packets handed to the allocating slow path.", z...)
+	sh.cacheHits = s.metrics.Counter("unclean_dnsbl_shard_cache_hits_total", "Fast-path verdicts served from the verdict cache.", z...)
+	sh.shed = s.metrics.Counter("unclean_dnsbl_shard_shed_total", "Responses abandoned on transient send faults.", z...)
+	sh.dropped = s.metrics.Counter("unclean_dnsbl_shard_dropped_total", "Responses lost to hard write errors.", z...)
+	return sh
+}
+
+// cacheSlot maps an address to its verdict-cache slot (Knuth
+// multiplicative hash, top cacheBits bits — the same spread the
+// blocklist evaluator uses).
+func (sh *shard) cacheSlot(a netaddr.Addr) uint32 {
+	return (uint32(a) * 2654435761) >> (32 - sh.cacheBits)
+}
+
+// ListenShards opens n UDP sockets on addr for the sharded serve path.
+// On Linux every socket sets SO_REUSEPORT before bind, so the kernel
+// spreads queries across them; elsewhere (or when n is 1) a single
+// socket is returned and the shards share it. n <= 0 means GOMAXPROCS.
+// The caller passes the result to ServeConns and owns closing whatever
+// conns remain on error.
+func ListenShards(addr string, n int) ([]net.PacketConn, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if !supportsReusePort {
+		n = 1
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	conns := make([]net.PacketConn, 0, n)
+	first, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conns = append(conns, first)
+	// Bind the rest to the resolved address, so addr ":0" lands every
+	// shard on the port the first bind chose.
+	resolved := first.LocalAddr().String()
+	for len(conns) < n {
+		c, err := lc.ListenPacket(context.Background(), "udp", resolved)
+		if err != nil {
+			// SO_REUSEPORT refused (old kernel, odd network stack):
+			// fall back to the sockets we have rather than fail the
+			// daemon — the shards will share.
+			break
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// ServeConns answers queries on conns with cfg.Shards independent
+// batched shard loops until every conn is closed or ctx is canceled.
+// On cancellation all conns are closed — the blocked reads return
+// net.ErrClosed, which each shard treats as a clean exit. Shards map
+// to conns round-robin: with one conn per shard (ListenShards on
+// Linux) each loop owns its socket; with fewer conns the shards share.
+//
+// Shard counters roll into the same Snapshot()/SLO/flight machinery as
+// the legacy path, plus per-shard series visible via ShardSnapshots
+// and /metrics.
+func (s *Server) ServeConns(ctx context.Context, conns []net.PacketConn, cfg ShardConfig) error {
+	if len(conns) == 0 {
+		return fmt.Errorf("dnsbl: ServeConns needs at least one conn")
+	}
+	cfg = cfg.withDefaults(len(conns))
+
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		shards[i] = s.newShard(i, conns[i%len(conns)], cfg)
+	}
+	s.shardsMu.Lock()
+	s.shards = shards
+	s.shardsMu.Unlock()
+
+	// The closer: cancellation closes every conn, waking all blocked
+	// reads at once.
+	stopCloser := make(chan struct{})
+	var closerWG sync.WaitGroup
+	closerWG.Add(1)
+	go func() {
+		defer closerWG.Done()
+		select {
+		case <-ctx.Done():
+			for _, c := range conns {
+				c.Close() //nolint:errcheck // best effort; shard loops observe ErrClosed
+			}
+		case <-stopCloser:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			errs[i] = s.runShard(ctx, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	close(stopCloser)
+	closerWG.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardSnapshots returns per-shard counters for the most recent (or
+// running) ServeConns call; nil when the server has only ever used the
+// legacy path.
+func (s *Server) ShardSnapshots() []ShardStats {
+	s.shardsMu.Lock()
+	shards := s.shards
+	s.shardsMu.Unlock()
+	if shards == nil {
+		return nil
+	}
+	out := make([]ShardStats, len(shards))
+	for i, sh := range shards {
+		out[i] = ShardStats{
+			Shard:     sh.id,
+			Packets:   sh.packets.Value(),
+			Batches:   sh.batches.Value(),
+			FastPath:  sh.fastPath.Value(),
+			SlowPath:  sh.slowPath.Value(),
+			CacheHits: sh.cacheHits.Value(),
+			Shed:      sh.shed.Value(),
+			Dropped:   sh.dropped.Value(),
+		}
+	}
+	return out
+}
+
+// runShard is one shard's serve loop: read a batch, answer every slot,
+// send the batch, account. Exits cleanly on conn close or ctx cancel.
+func (s *Server) runShard(ctx context.Context, sh *shard) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		n, err := sh.io.ReadBatch(sh.msgs)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue // injected or inherited deadline; not fatal
+			}
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		start := time.Now()
+		sh.batches.Inc()
+		sh.packets.Add(uint64(n))
+		cl := s.list.Load()
+		for i := 0; i < n; i++ {
+			s.serveMsg(sh, &sh.msgs[i], cl)
+		}
+		werr := sh.io.WriteBatch(sh.msgs[:n])
+		s.finishBatch(sh, sh.msgs[:n], start)
+		if werr != nil {
+			if ctx.Err() != nil || errors.Is(werr, net.ErrClosed) {
+				return nil
+			}
+			return werr
+		}
+	}
+}
+
+// serveMsg answers one batch slot in place. The fast path — common
+// query shape, cache probe, zero-copy encode into the outbound slot —
+// allocates nothing; everything else falls through to Server.handle
+// and copies its answer into the slot.
+func (s *Server) serveMsg(sh *shard, m *batchMsg, cl *compiledList) {
+	m.outN = 0
+	m.ev = nil
+	m.sendShed, m.sendErr = false, false
+
+	pkt := m.in[:m.inN]
+	addr, qlen, _, ok := parseFastQuery(pkt, s.zoneWire)
+	if !ok {
+		// Slow path: full decode, allocation allowed, event always
+		// recorded — rare shapes are exactly what the flight recorder
+		// should keep.
+		sh.slowPath.Inc()
+		ev := sh.arena.New()
+		ev.Kind = flight.KindQuery
+		ev.Client = m.client
+		ev.Name = s.zone
+		if resp := s.handle(pkt, s.maxUDP, ev); resp != nil {
+			m.outN = copy(m.out, resp)
+		}
+		m.ev = ev
+		return
+	}
+
+	sh.fastPath.Inc()
+	s.queries.Inc()
+
+	// Verdict cache probe. An entry is trusted only when both the
+	// address and the blocklist generation match; a SetList bumps the
+	// generation, so stale verdicts die wholesale without a flush.
+	var listed bool
+	var val uint8
+	cached := false
+	var slot uint32
+	if sh.vals != nil {
+		slot = sh.cacheSlot(addr)
+		if sh.keys[slot] == uint32(addr) && sh.gens[slot] == cl.gen {
+			val = sh.vals[slot]
+			listed = val != 1
+			cached = val != 0
+			if cached {
+				sh.cacheHits.Inc()
+			}
+		}
+	}
+	if !cached {
+		entry, hit := cl.matcher.Lookup(addr)
+		listed = hit
+		if hit {
+			_, _, _, o3 := codeFor(entry.Reason).Octets()
+			val = o3
+		} else {
+			val = 1
+		}
+		if sh.vals != nil {
+			sh.keys[slot] = uint32(addr)
+			sh.vals[slot] = val
+			sh.gens[slot] = cl.gen
+		}
+	}
+	var code netaddr.Addr
+	if listed {
+		s.hits.Inc()
+		code = netaddr.MakeAddr(127, 0, 0, val)
+	}
+	m.outN = encodeFastResponse(m.out, pkt, qlen, listed, code, s.ttl, s.maxUDP)
+
+	// Sampled wide event: 1 in shardEventSample healthy packets. The
+	// event is completed (latency, send flags) in finishBatch.
+	if sh.evTick++; sh.evTick%shardEventSample == 0 {
+		ev := sh.arena.New()
+		ev.Kind = flight.KindQuery
+		ev.Client = m.client
+		ev.Name = s.zone
+		ev.Addr = addr
+		if listed {
+			ev.Verdict = "hit"
+			ev.Flags |= flight.FlagHit
+		} else {
+			ev.Verdict = "miss"
+		}
+		m.ev = ev
+	}
+}
+
+// finishBatch settles accounting for a sent batch: latency (one clock
+// read pair for the whole batch, apportioned evenly), send-fault
+// counters, and the pending wide events. Send faults always produce an
+// event even when the packet wasn't sampled.
+func (s *Server) finishBatch(sh *shard, ms []batchMsg, start time.Time) {
+	per := time.Since(start) / time.Duration(len(ms))
+	for i := range ms {
+		m := &ms[i]
+		switch {
+		case m.sendShed:
+			// Transient send fault — socket buffer pressure or injected
+			// loss. Counted like the legacy overload valve: the shard
+			// kept reading and answering, it just couldn't deliver.
+			s.shed.Inc()
+			s.wShed.IncAt(start)
+			sh.shed.Inc()
+			if m.ev == nil {
+				m.ev = sh.arena.New()
+				m.ev.Kind = flight.KindQuery
+				m.ev.Client = m.client
+				m.ev.Name = s.zone
+			}
+			m.ev.Flags |= flight.FlagShed
+			m.ev.Verdict = "shed"
+		case m.sendErr:
+			s.dropped.Inc()
+			sh.dropped.Inc()
+			s.latency.Observe(per)
+			s.wLatency.ObserveAt(start, per)
+			s.wBad.IncAt(start)
+			if m.ev == nil {
+				m.ev = sh.arena.New()
+				m.ev.Kind = flight.KindQuery
+				m.ev.Client = m.client
+				m.ev.Name = s.zone
+			}
+			m.ev.Flags |= flight.FlagErr
+			m.ev.Detail = "response write failed"
+		default:
+			s.latency.Observe(per)
+			s.wLatency.ObserveAt(start, per)
+			if m.ev != nil && m.ev.Flags&flight.FlagErr != 0 {
+				s.wBad.IncAt(start)
+			}
+		}
+		if m.ev != nil {
+			m.ev.Unix = start.UnixNano()
+			m.ev.Latency = per
+			s.events.RecordOwned(m.ev)
+		}
+	}
+}
