@@ -44,6 +44,15 @@
 // the same address for TC-bit retries, and -max-udp shrinks the UDP
 // response limit that triggers them.
 //
+// With repeated -feed NAME=PATH flags the daemon serves the feed mesh
+// instead of a single tracker: each named source (a report directory or
+// a phishfeed incident file) is loaded every -reload interval, scored
+// for quality, quarantined when it misbehaves, and merged into one
+// reputation-weighted list that needs -mesh-threshold agreement to list
+// a block. Per-feed health rides on /metrics (unclean_feedmesh_*) and
+// /readyz (the feed_mesh check names quarantined feeds and fails when
+// the mesh degrades to its last-good list).
+//
 // Usage:
 //
 //	dnsbld [-listen ADDR] [-zone bl.unclean.example] [-threshold 0.6]
@@ -51,6 +60,7 @@
 //	       [-reports DIR] [-reload DUR] [-checkpoint PATH]
 //	       [-checkpoint-every DUR] [-halflife DUR] [-workers N] [-queue N]
 //	       [-shards N] [-batch N] [-tcp] [-max-udp N]
+//	       [-feed NAME=PATH ...] [-mesh-threshold F]
 //	       [-log-format text|json] [-log-level LEVEL] [-flight-dump PATH]
 package main
 
@@ -73,6 +83,7 @@ import (
 	"unclean/internal/core"
 	"unclean/internal/dnsbl"
 	"unclean/internal/experiments"
+	"unclean/internal/feedmesh"
 	"unclean/internal/netaddr"
 	"unclean/internal/obs"
 	"unclean/internal/obs/flight"
@@ -114,6 +125,8 @@ type options struct {
 	shards, batch   int
 	maxUDP          int
 	tcp             bool
+	feeds           []string
+	meshThreshold   float64
 	logFormat       string
 	logLevel        string
 	flightDump      string
@@ -140,6 +153,12 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.batch, "batch", 0, "datagrams per batched syscall on the sharded path (0 = default)")
 	fs.IntVar(&o.maxUDP, "max-udp", 0, "UDP response size limit; larger answers are truncated with TC set (0 = 512)")
 	fs.BoolVar(&o.tcp, "tcp", false, "also answer queries over TCP on the same address (serves TC-bit retries)")
+	fs.Func("feed", "mesh feed as NAME=PATH (report directory or phishfeed file); repeatable", func(v string) error {
+		o.feeds = append(o.feeds, v)
+		return nil
+	})
+	fs.Float64Var(&o.meshThreshold, "mesh-threshold", feedmesh.DefaultConfig().Threshold,
+		"weighted vote share a block needs to enter the merged mesh list")
 	fs.StringVar(&o.logFormat, "log-format", "", "log format: text or json (overrides "+formatEnv+"; empty defers to env)")
 	fs.StringVar(&o.logLevel, "log-level", "", "log level: debug, info, warn, error (overrides "+levelEnv+"; empty defers to env)")
 	fs.StringVar(&o.flightDump, "flight-dump", "", "flight-recorder crash dump path (overrides "+flight.DumpPathEnv+"; empty defers to env)")
@@ -151,6 +170,55 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if o.threshold < 0 || o.threshold > 1 {
 		return nil, fmt.Errorf("-threshold must be in [0, 1]")
+	}
+	// The serving knobs all use documented sentinels (-1 = one shard per
+	// core, 0 = default/disabled); anything below those is a typo worth
+	// naming rather than a mode.
+	if o.shards < -1 {
+		return nil, fmt.Errorf("-shards must be -1 (one per core), 0 (legacy worker pool), or a positive shard count; got %d", o.shards)
+	}
+	if o.batch < 0 {
+		return nil, fmt.Errorf("-batch must be 0 (default) or a positive batch size; got %d", o.batch)
+	}
+	if o.reload < 0 {
+		return nil, fmt.Errorf("-reload must be 0 (disabled) or a positive interval; got %s", o.reload)
+	}
+	if o.checkpointEvery < 0 {
+		return nil, fmt.Errorf("-checkpoint-every must be 0 (disabled) or a positive interval; got %s", o.checkpointEvery)
+	}
+	if o.workers < 0 || o.queue < 0 {
+		return nil, fmt.Errorf("-workers and -queue must be 0 (default) or positive")
+	}
+	if o.selfcheck < 0 {
+		return nil, fmt.Errorf("-selfcheck must be 0 (serve forever) or a positive probe count; got %d", o.selfcheck)
+	}
+	if o.maxUDP < 0 {
+		return nil, fmt.Errorf("-max-udp must be 0 (default 512) or a positive byte limit; got %d", o.maxUDP)
+	}
+	if o.meshThreshold <= 0 || o.meshThreshold > 1 {
+		return nil, fmt.Errorf("-mesh-threshold must be in (0, 1]; got %g", o.meshThreshold)
+	}
+	if len(o.feeds) > 0 {
+		if o.reports != "" {
+			return nil, fmt.Errorf("-feed and -reports are exclusive: the mesh replaces the single-tracker feed")
+		}
+		if o.checkpoint != "" {
+			return nil, fmt.Errorf("-checkpoint applies to the single-tracker feed, not the mesh")
+		}
+		if o.reload <= 0 {
+			return nil, fmt.Errorf("-feed requires -reload: the mesh polls every feed at that interval")
+		}
+		seen := map[string]bool{}
+		for _, f := range o.feeds {
+			name, path, ok := strings.Cut(f, "=")
+			if !ok || name == "" || path == "" {
+				return nil, fmt.Errorf("-feed wants NAME=PATH, got %q", f)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("-feed name %q given twice", name)
+			}
+			seen[name] = true
+		}
 	}
 	if o.logFormat != "" && o.logFormat != "text" && o.logFormat != "json" {
 		return nil, fmt.Errorf("-log-format must be text or json")
@@ -272,6 +340,31 @@ func trackerFromInventory(inv *report.Inventory, halfLife time.Duration) (*track
 	return tr, nil
 }
 
+// buildMesh assembles the feed mesh from the -feed flags. A directory
+// path becomes a report-directory source; anything else is read as a
+// phishfeed incident file. Paths must exist at startup — a feed that
+// dies later is the mesh's problem, a feed that never existed is a
+// configuration error worth refusing to start over.
+func buildMesh(o *options) (*feedmesh.Mesh, error) {
+	var sources []feedmesh.Source
+	for _, f := range o.feeds {
+		name, path, _ := strings.Cut(f, "=")
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("-feed %s: %w", name, err)
+		}
+		if st.IsDir() {
+			sources = append(sources, feedmesh.NewDirSource(name, path))
+		} else {
+			sources = append(sources, feedmesh.NewPhishSource(name, path))
+		}
+	}
+	cfg := feedmesh.DefaultConfig()
+	cfg.Interval = o.reload
+	cfg.Threshold = o.meshThreshold
+	return feedmesh.New(cfg, sources...)
+}
+
 // trackerFromWorld generates the simulated world and folds its four
 // ground-truth reports into a tracker.
 func trackerFromWorld(o *options) (*tracker.Tracker, error) {
@@ -341,7 +434,7 @@ const shedUnreadyRate = 0.5
 // buildHealth wires the daemon's readiness checks: breaker state, feed
 // staleness against the reload interval, and the one-minute shed rate.
 // lastLoad holds the UnixNano of the most recent successful ingest.
-func buildHealth(o *options, srv *dnsbl.Server, breaker *retry.Breaker, lastLoad *atomic.Int64) *obs.Health {
+func buildHealth(o *options, srv *dnsbl.Server, breaker *retry.Breaker, lastLoad *atomic.Int64, mesh *feedmesh.Mesh) *obs.Health {
 	health := obs.NewHealth()
 	health.SetInfo("zone", o.zone)
 	health.AddCheck("shed", func() (bool, string) {
@@ -368,6 +461,9 @@ func buildHealth(o *options, srv *dnsbl.Server, breaker *retry.Breaker, lastLoad
 			return true, fmt.Sprintf("loaded %s ago", age.Round(time.Second))
 		})
 	}
+	if mesh != nil {
+		health.AddCheck("feed_mesh", mesh.HealthCheck())
+	}
 	return health
 }
 
@@ -381,11 +477,28 @@ func run(ctx context.Context, args []string) error {
 		flight.Default().SetDumpPath(o.flightDump)
 	}
 
-	// Build the initial tracker: reports directory if given, else the
-	// generated world. A dead feed at startup degrades to the last
-	// checkpoint instead of refusing to start.
+	// Build the initial list: the feed mesh if -feed flags were given, a
+	// reports directory if -reports was, else the generated world. A dead
+	// feed at startup degrades — to the last checkpoint (tracker mode) or
+	// to whatever subset of feeds still answers (mesh mode) — instead of
+	// refusing to start.
 	var tr *tracker.Tracker
-	if o.reports != "" {
+	var mesh *feedmesh.Mesh
+	var list *blocklist.Trie
+	switch {
+	case len(o.feeds) > 0:
+		mesh, err = buildMesh(o)
+		if err != nil {
+			return err
+		}
+		// First round runs synchronously so the sockets open with a real
+		// list; an all-feeds-down start serves empty and the feed_mesh
+		// readiness check says why.
+		mesh.Tick(ctx)
+		if list = mesh.List(); list == nil {
+			list = &blocklist.Trie{}
+		}
+	case o.reports != "":
 		tr, err = ingest(ctx, o)
 		if err != nil && o.checkpoint != "" {
 			if rec, rerr := tracker.LoadFile(o.checkpoint); rerr == nil {
@@ -394,15 +507,16 @@ func run(ctx context.Context, args []string) error {
 				tr, err = rec, nil
 			}
 		}
-	} else {
+	default:
 		tr, err = trackerFromWorld(o)
 	}
 	if err != nil {
 		return err
 	}
-	saveCheckpoint(o, tr)
-
-	list := listFromTracker(tr, o.threshold)
+	if tr != nil {
+		saveCheckpoint(o, tr)
+		list = listFromTracker(tr, o.threshold)
+	}
 
 	// Bind the serving sockets: one PacketConn for the legacy worker
 	// pool, or a SO_REUSEPORT group for the sharded batched path.
@@ -423,8 +537,13 @@ func run(ctx context.Context, args []string) error {
 		}
 	}()
 	udpAddr := conns[0].LocalAddr().String()
-	fmt.Printf("serving %d listed /24s in zone %s on %s (threshold %.2f, %d sockets)\n",
-		list.Len(), o.zone, udpAddr, o.threshold, len(conns))
+	if mesh != nil {
+		fmt.Printf("serving %d merged /24s from %d feeds in zone %s on %s (vote threshold %.2f, %d sockets)\n",
+			list.Len(), len(o.feeds), o.zone, udpAddr, o.meshThreshold, len(conns))
+	} else {
+		fmt.Printf("serving %d listed /24s in zone %s on %s (threshold %.2f, %d sockets)\n",
+			list.Len(), o.zone, udpAddr, o.threshold, len(conns))
+	}
 
 	srv, err := dnsbl.NewServer(o.zone, list, 5*time.Minute)
 	if err != nil {
@@ -432,6 +551,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	srv.SetConcurrency(o.workers, o.queue)
 	srv.SetMaxUDPSize(o.maxUDP)
+	if mesh != nil {
+		mesh.OnSwap(srv.SetList)
+	}
 
 	// Readiness plumbing: the breaker and last-load stamp exist even in
 	// selfcheck mode so /readyz can always report them.
@@ -440,9 +562,13 @@ func run(ctx context.Context, args []string) error {
 	lastLoad.Store(time.Now().UnixNano())
 
 	if o.metrics != "" {
-		health := buildHealth(o, srv, breaker, &lastLoad)
+		health := buildHealth(o, srv, breaker, &lastLoad, mesh)
 		health.SetInfo("udp_addr", udpAddr)
-		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), obs.Default(), srv.Metrics())
+		regs := []*obs.Registry{obs.Default(), srv.Metrics()}
+		if mesh != nil {
+			regs = append(regs, mesh.Metrics())
+		}
+		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), regs...)
 		if err != nil {
 			return err
 		}
@@ -489,11 +615,11 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	// Serving mode: reload the feed, checkpoint the tracker, and wait
-	// for shutdown. The breaker stops retry storms against a feed that
-	// stays broken across reloads.
+	// Serving mode: reload the feed (or tick the mesh), checkpoint the
+	// tracker, and wait for shutdown. The breaker stops retry storms
+	// against a feed that stays broken across reloads.
 	var reloadC, ckptC <-chan time.Time
-	if o.reports != "" && o.reload > 0 {
+	if (o.reports != "" || mesh != nil) && o.reload > 0 {
 		tick := time.NewTicker(o.reload)
 		defer tick.Stop()
 		reloadC = tick.C
@@ -515,6 +641,11 @@ func run(ctx context.Context, args []string) error {
 			st := srv.Snapshot()
 			fmt.Printf("shutdown: %d queries (%d listed, %d malformed, %d dropped, %d shed)\n",
 				st.Queries, st.Hits, st.Malformed, st.Dropped, st.Shed)
+			if mesh != nil {
+				ms := mesh.Status()
+				fmt.Printf("mesh: round %d, %d/%d feeds healthy, %d merged blocks\n",
+					ms.Round, ms.HealthyFeeds, ms.TotalFeeds, ms.MergedBlocks)
+			}
 			return nil
 		case err := <-serveErr:
 			cancel()
@@ -522,6 +653,16 @@ func run(ctx context.Context, args []string) error {
 			saveCheckpoint(o, tr)
 			return err // the socket died underneath us
 		case <-reloadC:
+			if mesh != nil {
+				// The mesh runs its own per-feed breakers and logging; the
+				// daemon only notes list changes.
+				if r := mesh.Tick(ctx); r.Swapped {
+					logger.Info("mesh list swapped",
+						"round", r.N, "blocks", r.MergedBlocks,
+						"healthy_feeds", r.HealthyFeeds, "degraded", r.Degraded)
+				}
+				continue
+			}
 			if !breaker.Allow() {
 				logger.Warn("feed breaker open; serving last-good list", "reports", o.reports)
 				continue

@@ -408,18 +408,51 @@ type readyProbe struct {
 }
 
 func TestParseFlagsRejectsBadValues(t *testing.T) {
-	if _, err := parseFlags([]string{"-scale", "0"}); err == nil {
-		t.Error("scale 0 accepted")
+	bad := [][]string{
+		{"-scale", "0"},
+		{"-threshold", "1.5"},
+		{"-log-format", "xml"},
+		{"-log-level", "verbose"},
+		// Below the documented sentinels: typos, not modes.
+		{"-shards", "-2"},
+		{"-batch", "-1"},
+		{"-reload", "-1s"},
+		{"-checkpoint-every", "-1s"},
+		{"-workers", "-1"},
+		{"-queue", "-1"},
+		{"-selfcheck", "-1"},
+		{"-max-udp", "-1"},
+		{"-mesh-threshold", "0"},
+		{"-mesh-threshold", "1.1"},
+		// Mesh flag shape and exclusivity.
+		{"-feed", "nameonly", "-reload", "1s"},
+		{"-feed", "=path", "-reload", "1s"},
+		{"-feed", "a=", "-reload", "1s"},
+		{"-feed", "a=x", "-feed", "a=y", "-reload", "1s"},
+		{"-feed", "a=x"}, // mesh without -reload has no poll cadence
+		{"-feed", "a=x", "-reload", "1s", "-reports", "dir"},
+		{"-feed", "a=x", "-reload", "1s", "-checkpoint", "ckpt"},
 	}
-	if _, err := parseFlags([]string{"-threshold", "1.5"}); err == nil {
-		t.Error("threshold 1.5 accepted")
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted, want error", args)
+		}
 	}
-	if _, err := parseFlags([]string{"-log-format", "xml"}); err == nil {
-		t.Error("log-format xml accepted")
+
+	// The sentinels themselves stay legal.
+	good := [][]string{
+		{"-shards", "-1"},
+		{"-shards", "0"},
+		{"-batch", "0"},
+		{"-reload", "0"},
+		{"-feed", "a=x", "-feed", "b=y", "-reload", "1s"},
 	}
-	if _, err := parseFlags([]string{"-log-level", "verbose"}); err == nil {
-		t.Error("log-level verbose accepted")
+	for _, args := range good {
+		if _, err := parseFlags(args); err != nil {
+			t.Errorf("parseFlags(%v): %v", args, err)
+		}
 	}
+
 	if o, err := parseFlags([]string{"-log-format", "json", "-log-level", "debug"}); err != nil {
 		t.Errorf("valid log flags rejected: %v", err)
 	} else if o.logFormat != "json" || o.logLevel != "debug" {
@@ -441,6 +474,137 @@ func TestRunShardedSelfcheckWithTCP(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("sharded selfcheck with TCP retry: %v", err)
+	}
+}
+
+// End to end through the feed mesh: two feeds serve, one dies, and the
+// daemon keeps answering from the survivor while /readyz names the
+// quarantined feed and /metrics exposes the per-feed health series.
+func TestRunMeshModeSurvivesDeadFeed(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeReports(t, dirA)
+	writeReports(t, dirB)
+
+	// A feed path that never existed is a config error, not a quarantine
+	// case: the daemon must refuse to start.
+	if err := run(context.Background(), []string{
+		"-listen", "127.0.0.1:0", "-feed", "ghost=/nonexistent/feed", "-reload", "1s",
+	}); err == nil {
+		t.Fatal("nonexistent feed path accepted at startup")
+	}
+
+	addr, stop, err := reservePort(t)
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-metrics", addr,
+			"-feed", "alpha=" + dirA, "-feed", "beta=" + dirB,
+			"-reload", "30ms", "-selfcheck", "0",
+		})
+	}()
+	defer func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Error(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("mesh run did not shut down after cancel")
+		}
+	}()
+
+	getReady := func() (int, readyProbe, error) {
+		res, err := http.Get("http://" + addr + "/readyz")
+		if err != nil {
+			return 0, readyProbe{}, err
+		}
+		defer res.Body.Close()
+		var doc readyProbe
+		if err := json.NewDecoder(res.Body).Decode(&doc); err != nil {
+			return res.StatusCode, doc, err
+		}
+		return res.StatusCode, doc, nil
+	}
+
+	// Phase 1: up and ready, with the mesh check reporting both feeds.
+	var udpAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, doc, err := getReady()
+		if err == nil && code == http.StatusOK && doc.Ready {
+			if c, ok := doc.Checks["feed_mesh"]; !ok || !strings.Contains(c.Detail, "2/2 feeds healthy") {
+				t.Fatalf("feed_mesh check missing or wrong: %+v", doc.Checks)
+			}
+			udpAddr = doc.Info["udp_addr"]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh daemon never became ready: code=%d err=%v", code, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Phase 2: both feeds vouch for 10.1.1.0/24, so it serves as listed.
+	listed, _, err := dnsbl.Lookup(udpAddr, "bl.unclean.example",
+		netaddr.MustParseAddr("10.1.1.9"), 2*time.Second)
+	if err != nil || !listed {
+		t.Fatalf("mesh lookup listed probe: listed=%v err=%v", listed, err)
+	}
+
+	// Phase 3: feed beta turns to garbage. The mesh quarantines it, but
+	// with half the feeds still healthy the daemon stays ready and keeps
+	// serving alpha's contribution.
+	if err := os.RemoveAll(dirB); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dirB, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, "junk"+report.Ext), []byte("not a report"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		code, doc, err := getReady()
+		if err == nil && code == http.StatusOK && doc.Ready &&
+			strings.Contains(doc.Checks["feed_mesh"].Detail, "beta=quarantined") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("beta never quarantined while staying ready: code=%d checks=%+v err=%v",
+				code, doc.Checks, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	listed, _, err = dnsbl.Lookup(udpAddr, "bl.unclean.example",
+		netaddr.MustParseAddr("10.1.1.9"), 2*time.Second)
+	if err != nil || !listed {
+		t.Fatalf("lookup after beta died: listed=%v err=%v", listed, err)
+	}
+
+	// Phase 4: the per-feed health series ride the metrics endpoint.
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	body := string(b)
+	for _, series := range []string{
+		`unclean_feedmesh_quality_permille{feed="alpha"}`,
+		`unclean_feedmesh_state{feed="beta"}`,
+		"unclean_feedmesh_quarantines_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics scrape missing %s", series)
+		}
 	}
 }
 

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/report"
+)
+
+// cannedLog is a captured C&C channel session: three drones join and
+// report exploits, the botmaster sets a standing command, a cloaked
+// hostmask decodes to reserved space, one message lands on another
+// channel, and one line is cut mid-prefix (a truncated capture).
+const cannedLog = `:drone001!x@61.33.12.9 JOIN :#owned
+:drone001!x@61.33.12.9 PRIVMSG #owned :[SCAN]: exploited 88.21.7.44
+:drone002!x@62.14.99.3 JOIN #owned
+:drone002!x@62.14.99.3 PRIVMSG #owned :[SCAN]: exploited 89.10.2.3.
+:master!m@63.1.1.1 TOPIC #owned :.advscan lsass 150 5 0 -r
+:cloaked!x@10.0.0.5 JOIN :#owned
+:drone003!x@64.5.5.5 PRIVMSG #elsewhere :[SCAN]: exploited 90.1.1.1
+:truncated-prefix-no-command
+`
+
+func TestRunOfflineParsesCannedLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "capture.irc")
+	if err := os.WriteFile(path, []byte(cannedLog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-log", path, "-channel", "#owned"}, &buf); err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+
+	rep, err := report.Read(&buf)
+	if err != nil {
+		t.Fatalf("emitted report unreadable: %v", err)
+	}
+	if rep.Class != report.ClassBots || rep.Type != report.Provided {
+		t.Errorf("report class/type = %v/%v, want bots/provided", rep.Class, rep.Type)
+	}
+
+	// Hostmask harvest: the drones and the botmaster on #owned.
+	for _, want := range []string{"61.33.12.9", "62.14.99.3", "63.1.1.1"} {
+		if !rep.Addrs.Contains(netaddr.MustParseAddr(want)) {
+			t.Errorf("report missing hostmask address %s", want)
+		}
+	}
+	// The cloaked reserved hostmask and the off-channel drone stay out.
+	for _, skip := range []string{"10.0.0.5", "64.5.5.5"} {
+		if rep.Addrs.Contains(netaddr.MustParseAddr(skip)) {
+			t.Errorf("report wrongly includes %s", skip)
+		}
+	}
+	// Payload victims are the bots' claims, not observed bots: they must
+	// not be in the bot report.
+	if rep.Addrs.Contains(netaddr.MustParseAddr("88.21.7.44")) {
+		t.Error("victim address from message body leaked into the bot report")
+	}
+	if rep.Addrs.Len() != 3 {
+		t.Errorf("report has %d addresses, want 3", rep.Addrs.Len())
+	}
+}
+
+// An empty -channel harvests every channel in the capture.
+func TestRunOfflineAllChannels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "capture.irc")
+	if err := os.WriteFile(path, []byte(cannedLog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-log", path, "-channel", ""}, &buf); err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+	rep, err := report.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Addrs.Contains(netaddr.MustParseAddr("64.5.5.5")) {
+		t.Error("all-channels harvest missing the off-channel drone")
+	}
+	if rep.Addrs.Len() != 4 {
+		t.Errorf("report has %d addresses, want 4", rep.Addrs.Len())
+	}
+}
+
+func TestRunOfflineMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-log", filepath.Join(t.TempDir(), "nope.irc")}, &buf)
+	if err == nil {
+		t.Fatal("missing log file accepted")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("failed run still wrote output: %q", buf.String())
+	}
+}
+
+// The live demo path end to end: C&C server, monitor, three drones over
+// real TCP, report on the writer.
+func TestRunLiveDemo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-listen", "127.0.0.1:0", "-bots", "3", "-seed", "11"}, &buf); err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	rep, err := report.Read(&buf)
+	if err != nil {
+		t.Fatalf("emitted report unreadable: %v\n%s", err, buf.String())
+	}
+	if rep.Addrs.Len() != 3 {
+		t.Errorf("live report has %d bots, want 3", rep.Addrs.Len())
+	}
+	if !strings.Contains(rep.Method, "C&C") {
+		t.Errorf("report method lost its provenance: %q", rep.Method)
+	}
+}

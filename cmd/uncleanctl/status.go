@@ -52,6 +52,7 @@ type metricsDoc struct {
 		Name     string             `json:"name"`
 		Labels   map[string]string  `json:"labels"`
 		Kind     string             `json:"kind"`
+		Value    *int64             `json:"value"`
 		Target   *float64           `json:"target"`
 		BurnRate map[string]float64 `json:"burn_rate"`
 		Windows  map[string]struct {
@@ -145,6 +146,8 @@ func writeStatus(w io.Writer, client *http.Client, base string, nEvents int) err
 		fmt.Fprintln(w)
 	}
 
+	writeFeedTable(w, &mets)
+
 	// SLOs and the rolling serving windows.
 	for _, m := range mets.Metrics {
 		switch m.Kind {
@@ -211,6 +214,123 @@ func writeStatus(w io.Writer, client *http.Client, base string, nEvents int) err
 		}
 	}
 	return nil
+}
+
+// feedRow accumulates one feed's unclean_feedmesh_* series for the
+// per-feed health table.
+type feedRow struct {
+	state                    int64
+	quality, weight, dup, fp float64
+	lagMS, addrs             int64
+	loads, fails             int64
+	seen                     bool
+}
+
+// feedStateName decodes the mesh's state gauge (healthy=0, probation=1,
+// quarantined=2 — the escalation order).
+func feedStateName(s int64) string {
+	switch s {
+	case 0:
+		return "healthy"
+	case 1:
+		return "probation"
+	case 2:
+		return "quarantined"
+	}
+	return fmt.Sprintf("state=%d", s)
+}
+
+// writeFeedTable renders the feed-mesh section when the daemon exposes
+// unclean_feedmesh_* series: one summary line for the mesh, then a row
+// per feed. Daemons not running a mesh produce no such series and no
+// section.
+func writeFeedTable(w io.Writer, mets *metricsDoc) {
+	rows := map[string]*feedRow{}
+	var merged, healthy, poisonPm, degraded *int64
+	for _, m := range mets.Metrics {
+		if !strings.HasPrefix(m.Name, "unclean_feedmesh_") || m.Value == nil {
+			continue
+		}
+		feed := m.Labels["feed"]
+		if feed == "" {
+			switch m.Name {
+			case "unclean_feedmesh_merged_blocks":
+				merged = m.Value
+			case "unclean_feedmesh_healthy_feeds":
+				healthy = m.Value
+			case "unclean_feedmesh_poison_permille":
+				poisonPm = m.Value
+			case "unclean_feedmesh_degraded":
+				degraded = m.Value
+			}
+			continue
+		}
+		r := rows[feed]
+		if r == nil {
+			r = &feedRow{}
+			rows[feed] = r
+		}
+		v := *m.Value
+		switch m.Name {
+		case "unclean_feedmesh_state":
+			r.state, r.seen = v, true
+		case "unclean_feedmesh_quality_permille":
+			r.quality = float64(v) / 1000
+		case "unclean_feedmesh_weight_permille":
+			r.weight = float64(v) / 1000
+		case "unclean_feedmesh_dup_permille":
+			r.dup = float64(v) / 1000
+		case "unclean_feedmesh_fp_permille":
+			r.fp = float64(v) / 1000
+		case "unclean_feedmesh_lag_ms":
+			r.lagMS = v
+		case "unclean_feedmesh_batch_addrs":
+			r.addrs = v
+		case "unclean_feedmesh_loads_total":
+			r.loads = v
+		case "unclean_feedmesh_load_failures_total":
+			r.fails = v
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nfeed mesh: %d/%d feeds healthy", deref64(healthy), len(rows))
+	if merged != nil {
+		fmt.Fprintf(w, ", %d merged blocks", *merged)
+	}
+	if poisonPm != nil {
+		fmt.Fprintf(w, ", poison %.1f%%", float64(*poisonPm)/10)
+	}
+	if degraded != nil && *degraded != 0 {
+		fmt.Fprint(w, " — DEGRADED, serving last-good list")
+	}
+	fmt.Fprintln(w)
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "  %-16s %-12s %7s %7s %6s %6s %9s %7s %6s %6s\n",
+		"FEED", "STATE", "QUALITY", "WEIGHT", "DUP", "FP", "LAG", "ADDRS", "LOADS", "FAILS")
+	for _, n := range names {
+		r := rows[n]
+		state := "?"
+		if r.seen {
+			state = feedStateName(r.state)
+		}
+		fmt.Fprintf(w, "  %-16s %-12s %7.2f %7.2f %6.2f %6.2f %9s %7d %6d %6d\n",
+			n, state, r.quality, r.weight, r.dup, r.fp,
+			(time.Duration(r.lagMS) * time.Millisecond).Round(time.Second),
+			r.addrs, r.loads, r.fails)
+	}
+}
+
+func deref64(v *int64) int64 {
+	if v == nil {
+		return 0
+	}
+	return *v
 }
 
 func labelSuffix(labels map[string]string) string {

@@ -82,6 +82,64 @@ func TestWriteStatus(t *testing.T) {
 	if strings.Contains(got, "unclean_dnsbl_window_shed_total") {
 		t.Errorf("idle windowed counter rendered:\n%s", got)
 	}
+	// No unclean_feedmesh_* series means no mesh section.
+	if strings.Contains(got, "feed mesh") {
+		t.Errorf("mesh section rendered without mesh series:\n%s", got)
+	}
+}
+
+// A daemon running the feed mesh exposes per-feed gauges; the status
+// view must fold them into one health table.
+func TestWriteStatusFeedMeshTable(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ready": true, "checks": {
+			"feed_mesh": {"ok": true, "detail": "1/2 feeds healthy (beta=quarantined)"}
+		}, "info": {}}`))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"metrics": [
+			{"name": "unclean_feedmesh_state", "labels": {"feed": "alpha"}, "kind": "gauge", "value": 0},
+			{"name": "unclean_feedmesh_quality_permille", "labels": {"feed": "alpha"}, "kind": "gauge", "value": 970},
+			{"name": "unclean_feedmesh_weight_permille", "labels": {"feed": "alpha"}, "kind": "gauge", "value": 970},
+			{"name": "unclean_feedmesh_dup_permille", "labels": {"feed": "alpha"}, "kind": "gauge", "value": 120},
+			{"name": "unclean_feedmesh_fp_permille", "labels": {"feed": "alpha"}, "kind": "gauge", "value": 0},
+			{"name": "unclean_feedmesh_lag_ms", "labels": {"feed": "alpha"}, "kind": "gauge", "value": 60000},
+			{"name": "unclean_feedmesh_batch_addrs", "labels": {"feed": "alpha"}, "kind": "gauge", "value": 64},
+			{"name": "unclean_feedmesh_loads_total", "labels": {"feed": "alpha"}, "kind": "counter", "value": 42},
+			{"name": "unclean_feedmesh_load_failures_total", "labels": {"feed": "alpha"}, "kind": "counter", "value": 1},
+			{"name": "unclean_feedmesh_state", "labels": {"feed": "beta"}, "kind": "gauge", "value": 2},
+			{"name": "unclean_feedmesh_quality_permille", "labels": {"feed": "beta"}, "kind": "gauge", "value": 150},
+			{"name": "unclean_feedmesh_weight_permille", "labels": {"feed": "beta"}, "kind": "gauge", "value": 40},
+			{"name": "unclean_feedmesh_merged_blocks", "kind": "gauge", "value": 17},
+			{"name": "unclean_feedmesh_healthy_feeds", "kind": "gauge", "value": 1},
+			{"name": "unclean_feedmesh_poison_permille", "kind": "gauge", "value": 12},
+			{"name": "unclean_feedmesh_degraded", "kind": "gauge", "value": 0}
+		]}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := writeStatus(&out, &http.Client{Timeout: time.Second}, ts.URL, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"feed mesh: 1/2 feeds healthy, 17 merged blocks, poison 1.2%",
+		"FEED", "STATE", "QUALITY",
+		"alpha", "healthy", "0.97", "1m0s", "42",
+		"beta", "quarantined", "0.15",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("mesh table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "DEGRADED") {
+		t.Errorf("degraded banner shown for a non-degraded mesh:\n%s", got)
+	}
 }
 
 func TestCmdStatusRequiresMetrics(t *testing.T) {

@@ -1,0 +1,676 @@
+package feedmesh
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"unclean/internal/blocklist"
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
+	"unclean/internal/retry"
+)
+
+var meshLog = obs.Logger("feedmesh")
+
+// weightEpsilon is the merge weight below which a decayed contribution
+// is dropped entirely instead of carrying infinitesimal votes forever.
+const weightEpsilon = 1e-3
+
+// feed is the mesh's per-source state: the quarantine machine, quality
+// EWMA, decaying merge weight, and this feed's metric handles.
+type feed struct {
+	src     Source
+	breaker *retry.Breaker
+
+	state       State
+	quality     float64 // EWMA of per-round quality, starts at 1
+	weight      float64 // merge weight (quality for healthy, decaying residue after)
+	contrib     ipset.Set
+	contribBits ipset.Set // contrib masked to Config.Bits block bases
+	prevBatch   ipset.Set // last loaded batch, accepted or not (duplicate ratio)
+
+	probationOK int // consecutive clean loads while on probation
+
+	loads, failures uint64
+	lastSuccess     time.Time
+	lastErr         string
+	lastDup         float64
+	lastFP          float64
+	lastLag         time.Duration
+	lastBatchLen    int
+	lastConfusion   blocklist.Confusion
+
+	// round-scoped scratch, valid only inside Tick
+	roundLoaded bool
+	roundBits   ipset.Set
+	roundQ      float64
+
+	gQuality, gWeight, gState *obs.Gauge
+	gDup, gFP, gLagMS, gBatch *obs.Gauge
+	gLastSuccess              *obs.Gauge
+	cLoads, cFails            *obs.Counter
+	wAttempts, wOK            *obs.WindowedCounter
+}
+
+// Mesh supervises a set of reputation feeds and maintains the merged,
+// reputation-weighted blocklist they agree on. Construct with New; all
+// exported methods are safe for concurrent use, though rounds themselves
+// are serialized (Tick holds the mesh lock for scoring and merging,
+// never across source loads).
+type Mesh struct {
+	cfg    Config
+	reg    *obs.Registry
+	events *flight.Recorder
+	onSwap func(*blocklist.Trie)
+
+	hostile, clean ipset.Set // Truth at address level (zero sets when nil)
+	cleanBits      ipset.Set // Truth.Clean masked to block bases
+
+	mu         sync.Mutex
+	feeds      []*feed
+	round      uint64
+	lastGood   *blocklist.Trie
+	lastBits   ipset.Set // block bases of lastGood
+	built      bool      // at least one non-degraded merge happened
+	degraded   bool
+	poisonFrac float64
+
+	mRounds, mSwaps           *obs.Counter
+	mQuarantines, mReadmits   *obs.Counter
+	gMerged, gDegraded        *obs.Gauge
+	gHealthy, gPoisonPermille *obs.Gauge
+}
+
+// New builds a mesh over the given sources. Source names must be
+// non-empty and unique — they label every metric, log line, and flight
+// event the mesh emits.
+func New(cfg Config, sources ...Source) (*Mesh, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("feedmesh: at least one source required")
+	}
+	m := &Mesh{
+		cfg:    cfg,
+		reg:    obs.NewRegistry(),
+		events: flight.Default(),
+	}
+	if cfg.Truth != nil {
+		m.hostile = cfg.Truth.Hostile
+		m.clean = cfg.Truth.Clean
+		m.cleanBits = cfg.Truth.Clean.MaskedSet(cfg.Bits)
+	}
+	m.mRounds = m.reg.Counter("unclean_feedmesh_rounds_total", "Merge rounds executed.")
+	m.mSwaps = m.reg.Counter("unclean_feedmesh_swaps_total", "Merged-list changes handed to the server.")
+	m.mQuarantines = m.reg.Counter("unclean_feedmesh_quarantines_total", "Feed quarantine transitions.")
+	m.mReadmits = m.reg.Counter("unclean_feedmesh_readmissions_total", "Feeds re-admitted after probation.")
+	m.gMerged = m.reg.Gauge("unclean_feedmesh_merged_blocks", "Blocks in the current merged list.")
+	m.gDegraded = m.reg.Gauge("unclean_feedmesh_degraded", "1 while serving the last-good list because too few feeds are healthy.")
+	m.gHealthy = m.reg.Gauge("unclean_feedmesh_healthy_feeds", "Feeds currently in the healthy state.")
+	m.gPoisonPermille = m.reg.Gauge("unclean_feedmesh_poison_permille", "Known-clean fraction of the merged list, permille (Truth mode only).")
+
+	seen := map[string]bool{}
+	for _, src := range sources {
+		name := src.Name()
+		if name == "" {
+			return nil, fmt.Errorf("feedmesh: source with empty name")
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("feedmesh: duplicate source name %q", name)
+		}
+		seen[name] = true
+		f := &feed{
+			src:     src,
+			breaker: retry.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			state:   StateHealthy,
+			quality: 1,
+		}
+		f.breaker.SetClock(cfg.Now)
+		lbl := []string{"feed", name}
+		f.gQuality = m.reg.Gauge("unclean_feedmesh_quality_permille", "Feed quality EWMA, permille.", lbl...)
+		f.gWeight = m.reg.Gauge("unclean_feedmesh_weight_permille", "Feed merge weight, permille.", lbl...)
+		f.gState = m.reg.Gauge("unclean_feedmesh_state", "Feed state: 0 healthy, 1 probation, 2 quarantined.", lbl...)
+		f.gDup = m.reg.Gauge("unclean_feedmesh_dup_permille", "Overlap of the last batch with the previous one, permille.", lbl...)
+		f.gFP = m.reg.Gauge("unclean_feedmesh_fp_permille", "False-positive (known-clean or uncorroborated) share of the last batch, permille.", lbl...)
+		f.gLagMS = m.reg.Gauge("unclean_feedmesh_lag_ms", "Age of the feed's data at last load, milliseconds.", lbl...)
+		f.gBatch = m.reg.Gauge("unclean_feedmesh_batch_addrs", "Addresses in the last loaded batch.", lbl...)
+		f.gLastSuccess = m.reg.Gauge("unclean_feedmesh_last_success_unix", "Unix time of the last successful load (0 = never).", lbl...)
+		f.cLoads = m.reg.Counter("unclean_feedmesh_loads_total", "Successful feed loads.", lbl...)
+		f.cFails = m.reg.Counter("unclean_feedmesh_load_failures_total", "Failed or skipped feed loads.", lbl...)
+		f.wAttempts = m.reg.WindowedCounter("unclean_feedmesh_load_attempts", "Load attempts over trailing windows.", lbl...)
+		f.wOK = m.reg.WindowedCounter("unclean_feedmesh_load_ok", "Successful loads over trailing windows.", lbl...)
+		f.wAttempts.Clock(cfg.Now)
+		f.wOK.Clock(cfg.Now)
+		m.reg.RegisterSLO(&obs.SLO{
+			Name:   "unclean_feedmesh_load_success",
+			Help:   "Per-feed load success objective.",
+			Target: 0.9,
+			Good:   f.wOK,
+			Total:  f.wAttempts,
+		}, lbl...)
+		f.gQuality.Set(1000)
+		m.feeds = append(m.feeds, f)
+	}
+	m.gHealthy.Set(int64(len(m.feeds)))
+	return m, nil
+}
+
+// Metrics returns the mesh's private metric registry for mounting on a
+// daemon's exposition endpoint.
+func (m *Mesh) Metrics() *obs.Registry { return m.reg }
+
+// OnSwap registers the callback invoked (outside the mesh lock) each
+// time the merged list changes — dnsbld points this at Server.SetList.
+func (m *Mesh) OnSwap(fn func(*blocklist.Trie)) { m.onSwap = fn }
+
+// List returns the current merged list (nil before the first merge).
+func (m *Mesh) List() *blocklist.Trie {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastGood
+}
+
+// Round summarizes one Tick.
+type Round struct {
+	N            uint64
+	MergedBlocks int
+	Swapped      bool
+	Degraded     bool
+	HealthyFeeds int
+	TotalFeeds   int
+	// PoisonFrac is the known-clean fraction of the merged list (Truth
+	// mode; 0 otherwise).
+	PoisonFrac float64
+}
+
+// Tick executes one merge round: load every admissible feed
+// concurrently, score quality, advance the quarantine machine, rebuild
+// the weighted merge, and hand a changed list to the OnSwap callback.
+// It is synchronous — when it returns, metrics, status, and the served
+// list all reflect the round.
+func (m *Mesh) Tick(ctx context.Context) Round {
+	now := m.cfg.Now()
+
+	type result struct {
+		batch   Batch
+		err     error
+		latency time.Duration
+		skipped bool
+	}
+	results := make([]result, len(m.feeds))
+	var wg sync.WaitGroup
+	for i, f := range m.feeds {
+		if !f.breaker.Allow() {
+			results[i].skipped = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, f *feed) {
+			defer wg.Done()
+			start := time.Now()
+			b, err := f.src.Load(ctx)
+			results[i] = result{batch: b, err: err, latency: time.Since(start)}
+		}(i, f)
+	}
+	wg.Wait()
+
+	m.mu.Lock()
+	m.round++
+	m.mRounds.Inc()
+
+	// Pass 1: bookkeeping per feed — breaker, counters, flight events —
+	// and collect this round's block sets for corroboration scoring.
+	for i, f := range m.feeds {
+		r := &results[i]
+		f.roundLoaded, f.roundBits = false, ipset.Set{}
+		f.wAttempts.IncAt(now)
+		switch {
+		case r.skipped:
+			f.failures++
+			f.cFails.Inc()
+			f.lastErr = retry.ErrOpen.Error()
+			m.events.Record(flight.Event{
+				Kind: flight.KindFeedLoad, Flags: flight.FlagErr,
+				Name: f.src.Name(), Verdict: "skipped", Detail: "breaker open",
+			})
+		case r.err != nil:
+			f.breaker.Record(r.err)
+			f.failures++
+			f.cFails.Inc()
+			f.lastErr = r.err.Error()
+			m.events.Record(flight.Event{
+				Kind: flight.KindFeedLoad, Flags: flight.FlagErr,
+				Name: f.src.Name(), Verdict: "failed",
+				Latency: r.latency, Detail: f.lastErr,
+			})
+		default:
+			f.breaker.Record(nil)
+			f.loads++
+			f.cLoads.Inc()
+			f.wOK.IncAt(now)
+			f.lastErr = ""
+			f.lastSuccess = now
+			f.lastBatchLen = r.batch.Addrs.Len()
+			f.gLastSuccess.Set(now.Unix())
+			f.gBatch.Set(int64(f.lastBatchLen))
+			f.roundLoaded = true
+			f.roundBits = r.batch.Addrs.MaskedSet(m.cfg.Bits)
+			m.events.Record(flight.Event{
+				Kind: flight.KindFeedLoad, Name: f.src.Name(), Verdict: "loaded",
+				Latency: r.latency, Value: int64(f.lastBatchLen),
+			})
+		}
+	}
+
+	// Corroboration map (only needed without ground truth): how many
+	// non-quarantined feeds reported each block this round.
+	var votesThisRound map[netaddr.Addr]int
+	loadedPeers := 0
+	if m.cfg.Truth == nil {
+		votesThisRound = map[netaddr.Addr]int{}
+		for _, f := range m.feeds {
+			if !f.roundLoaded || f.state == StateQuarantined {
+				continue
+			}
+			loadedPeers++
+			f.roundBits.Each(func(a netaddr.Addr) bool {
+				votesThisRound[a]++
+				return true
+			})
+		}
+	}
+
+	// Pass 2: per-round quality and the EWMA.
+	alpha := 2.0 / float64(m.cfg.QualityWindow+1)
+	for i, f := range m.feeds {
+		r := &results[i]
+		f.roundQ = 0
+		if f.roundLoaded {
+			f.roundQ = m.scoreBatch(f, r.batch, now, votesThisRound, loadedPeers)
+		}
+		f.quality = (1-alpha)*f.quality + alpha*f.roundQ
+		f.gQuality.Set(permille(f.quality))
+	}
+
+	// Pass 3: the quarantine state machine and merge weights.
+	for _, f := range m.feeds {
+		cleanLoad := f.roundLoaded && f.roundQ >= m.cfg.MinQuality && !f.breaker.Open()
+		switch f.state {
+		case StateHealthy:
+			if f.breaker.Open() || f.quality < m.cfg.MinQuality {
+				m.transition(f, StateQuarantined, now)
+			} else if f.roundLoaded {
+				// scoreBatch already stashed this round's batch in prevBatch
+				f.contrib = f.prevBatch
+				f.contribBits = f.roundBits
+				f.weight = f.quality
+			} else {
+				// transient miss: keep serving the last accepted batch at
+				// the (EWMA-reduced) quality weight
+				f.weight = f.quality
+			}
+		case StateQuarantined:
+			f.weight *= m.cfg.Decay
+			if cleanLoad {
+				f.probationOK = 1
+				m.transition(f, StateProbation, now)
+			}
+		case StateProbation:
+			f.weight *= m.cfg.Decay
+			if cleanLoad {
+				f.probationOK++
+				if f.probationOK >= m.cfg.ProbationLoads && f.quality >= m.cfg.MinQuality {
+					f.contrib = f.prevBatch
+					f.contribBits = f.roundBits
+					f.weight = f.quality
+					m.transition(f, StateHealthy, now)
+				}
+			} else {
+				f.probationOK = 0
+				m.transition(f, StateQuarantined, now)
+			}
+		}
+		f.gWeight.Set(permille(f.weight))
+		f.gState.Set(int64(f.state))
+	}
+
+	healthy := 0
+	for _, f := range m.feeds {
+		if f.state == StateHealthy {
+			healthy++
+		}
+	}
+	m.gHealthy.Set(int64(healthy))
+
+	// Degradation gate: with too few healthy feeds, freeze the last-good
+	// list rather than rebuild from a minority.
+	wasDegraded := m.degraded
+	m.degraded = float64(healthy)/float64(len(m.feeds)) < m.cfg.MinHealthyFrac && m.built
+	if m.degraded {
+		m.gDegraded.Set(1)
+	} else {
+		m.gDegraded.Set(0)
+	}
+	if m.degraded != wasDegraded {
+		verdict := "degraded"
+		var fl flight.Flags
+		if !m.degraded {
+			verdict, fl = "restored", flight.FlagRecovered
+		}
+		m.events.Record(flight.Event{
+			Kind: flight.KindMesh, Flags: fl, Verdict: verdict,
+			Value: int64(healthy),
+		})
+		meshLog.Warn("mesh capacity change", "state", verdict,
+			"healthy", healthy, "total", len(m.feeds))
+	}
+
+	var (
+		swapped bool
+		newList *blocklist.Trie
+	)
+	if !m.degraded {
+		merged := m.merge()
+		if !merged.Equal(m.lastBits) {
+			newList = blocklist.FromSet(merged, m.cfg.Bits, "feedmesh")
+			m.lastGood = newList
+			m.lastBits = merged
+			swapped = true
+			m.mSwaps.Inc()
+		}
+		m.built = true
+	}
+	m.gMerged.Set(int64(m.lastBits.Len()))
+
+	m.poisonFrac = 0
+	if m.cfg.Truth != nil && m.lastBits.Len() > 0 {
+		m.poisonFrac = float64(m.lastBits.Intersect(m.cleanBits).Len()) / float64(m.lastBits.Len())
+	}
+	m.gPoisonPermille.Set(permille(m.poisonFrac))
+
+	round := Round{
+		N:            m.round,
+		MergedBlocks: m.lastBits.Len(),
+		Swapped:      swapped,
+		Degraded:     m.degraded,
+		HealthyFeeds: healthy,
+		TotalFeeds:   len(m.feeds),
+		PoisonFrac:   m.poisonFrac,
+	}
+	m.events.Record(flight.Event{
+		Kind: flight.KindMesh, Verdict: "round",
+		Value: int64(round.MergedBlocks),
+		Name:  fmt.Sprintf("healthy=%d/%d", healthy, len(m.feeds)),
+	})
+	cb := m.onSwap
+	m.mu.Unlock()
+
+	if swapped && cb != nil {
+		cb(newList)
+	}
+	return round
+}
+
+// scoreBatch computes the per-round quality of a successfully loaded
+// batch: squared precision (ground-truth or corroborated), times a
+// freshness factor, times a near-total-duplication penalty. Squaring
+// precision makes a half-poisoned feed score ~0.25 — well under the
+// default quarantine line — while an honest 95%-precise feed stays
+// near 0.9.
+func (m *Mesh) scoreBatch(f *feed, batch Batch, now time.Time, votes map[netaddr.Addr]int, loadedPeers int) float64 {
+	n := batch.Addrs.Len()
+
+	// Duplicate ratio against the previous load. Deliberately mild and
+	// only for near-total duplication: a slow-moving honest blocklist is
+	// normal, and a frozen feed replaying one batch forever is
+	// content-indistinguishable from it — so the penalty bottoms out at
+	// 0.75, a down-weight rather than a quarantine trigger.
+	dup := 0.0
+	if n > 0 && f.prevBatch.Len() > 0 {
+		dup = float64(batch.Addrs.Intersect(f.prevBatch).Len()) / float64(n)
+	}
+	f.lastDup = dup
+	f.gDup.Set(permille(dup))
+	dupFactor := 1.0
+	if dup > 0.9 {
+		dupFactor = 1 - 0.25*math.Min((dup-0.9)/0.1, 1)
+	}
+
+	// Precision: ground truth when we have it, cross-feed corroboration
+	// otherwise. Either way 1.0 for an empty batch — an empty feed is
+	// useless, not hostile.
+	precision := 1.0
+	fpRate := 0.0
+	if m.cfg.Truth != nil {
+		tp := batch.Addrs.Intersect(m.hostile).Len()
+		fp := batch.Addrs.Intersect(m.clean).Len()
+		f.lastConfusion = blocklist.Confusion{
+			TP: tp, FP: fp,
+			FN: m.hostile.Len() - tp,
+			TN: m.clean.Len() - fp,
+		}
+		if tp+fp > 0 {
+			precision = float64(tp) / float64(tp+fp)
+		}
+		fpRate = 1 - precision
+	} else if loadedPeers >= 3 && f.roundBits.Len() > 0 {
+		// With fewer than three reporting peers there is no quorum to
+		// corroborate against; trust the feed rather than quarantine the
+		// whole mesh.
+		corroborated := 0
+		own := 0
+		if f.state != StateQuarantined {
+			own = 1 // the feed's own vote is in the map
+		}
+		f.roundBits.Each(func(a netaddr.Addr) bool {
+			if votes[a] > own {
+				corroborated++
+			}
+			return true
+		})
+		precision = float64(corroborated) / float64(f.roundBits.Len())
+		fpRate = 1 - precision
+	}
+	f.lastFP = fpRate
+	f.gFP.Set(permille(fpRate))
+
+	// Freshness: full credit up to MaxLag, then proportional decay.
+	lag := time.Duration(0)
+	if !batch.AsOf.IsZero() && batch.AsOf.Before(now) {
+		lag = now.Sub(batch.AsOf)
+	}
+	f.lastLag = lag
+	f.gLagMS.Set(lag.Milliseconds())
+	fresh := 1.0
+	if lag > m.cfg.MaxLag && lag > 0 {
+		fresh = float64(m.cfg.MaxLag) / float64(lag)
+	}
+
+	f.prevBatch = batch.Addrs
+	return precision * precision * fresh * dupFactor
+}
+
+// transition moves a feed between states, emitting the metric, log, and
+// flight-event trail. Callers hold m.mu.
+func (m *Mesh) transition(f *feed, to State, now time.Time) {
+	from := f.state
+	f.state = to
+	name := f.src.Name()
+	switch to {
+	case StateQuarantined:
+		f.probationOK = 0
+		m.mQuarantines.Inc()
+		reason := "quality below threshold"
+		if f.breaker.Open() {
+			reason = "breaker open"
+		}
+		meshLog.Warn("feed quarantined", "feed", name, "from", from.String(),
+			"quality", fmt.Sprintf("%.3f", f.quality), "reason", reason)
+		m.events.Record(flight.Event{
+			Kind: flight.KindMesh, Flags: flight.FlagErr,
+			Name: name, Verdict: "quarantine", Detail: reason,
+			Value: permille(f.quality),
+		})
+	case StateProbation:
+		meshLog.Info("feed entered probation", "feed", name,
+			"needed", m.cfg.ProbationLoads)
+		m.events.Record(flight.Event{
+			Kind: flight.KindMesh, Name: name, Verdict: "probation",
+			Value: int64(f.probationOK),
+		})
+	case StateHealthy:
+		m.mReadmits.Inc()
+		meshLog.Info("feed re-admitted", "feed", name,
+			"quality", fmt.Sprintf("%.3f", f.quality))
+		m.events.Record(flight.Event{
+			Kind: flight.KindMesh, Flags: flight.FlagRecovered,
+			Name: name, Verdict: "readmitted", Value: permille(f.quality),
+		})
+	}
+}
+
+// merge computes the weighted-vote merged block set. Callers hold m.mu.
+func (m *Mesh) merge() ipset.Set {
+	votes := map[netaddr.Addr]float64{}
+	var total float64
+	for _, f := range m.feeds {
+		if f.weight <= weightEpsilon || f.contribBits.Len() == 0 {
+			continue
+		}
+		total += f.weight
+		w := f.weight
+		f.contribBits.Each(func(a netaddr.Addr) bool {
+			votes[a] += w
+			return true
+		})
+	}
+	if total == 0 {
+		return ipset.Set{}
+	}
+	b := ipset.NewBuilder(len(votes))
+	for a, v := range votes {
+		if v/total >= m.cfg.Threshold {
+			b.Add(a)
+		}
+	}
+	return b.Build()
+}
+
+// Run ticks the mesh at the configured interval until ctx is done. The
+// first round runs immediately.
+func (m *Mesh) Run(ctx context.Context) {
+	m.Tick(ctx)
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Tick(ctx)
+		}
+	}
+}
+
+// FeedStatus is one feed's externally visible health.
+type FeedStatus struct {
+	Name        string
+	State       State
+	Quality     float64
+	Weight      float64
+	DupRatio    float64
+	FPRate      float64
+	Lag         time.Duration
+	Loads       uint64
+	Failures    uint64
+	BreakerOpen bool
+	ConsecFails int
+	LastSuccess time.Time
+	LastError   string
+	BatchAddrs  int
+	// Confusion is the last ground-truth score (zero without Truth).
+	Confusion blocklist.Confusion
+}
+
+// Status is a point-in-time snapshot of the whole mesh.
+type Status struct {
+	Round        uint64
+	MergedBlocks int
+	Degraded     bool
+	HealthyFeeds int
+	TotalFeeds   int
+	PoisonFrac   float64
+	Feeds        []FeedStatus
+}
+
+// Status snapshots the mesh (feeds sorted by name).
+func (m *Mesh) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		Round:        m.round,
+		MergedBlocks: m.lastBits.Len(),
+		Degraded:     m.degraded,
+		TotalFeeds:   len(m.feeds),
+		PoisonFrac:   m.poisonFrac,
+	}
+	for _, f := range m.feeds {
+		if f.state == StateHealthy {
+			st.HealthyFeeds++
+		}
+		st.Feeds = append(st.Feeds, FeedStatus{
+			Name:        f.src.Name(),
+			State:       f.state,
+			Quality:     f.quality,
+			Weight:      f.weight,
+			DupRatio:    f.lastDup,
+			FPRate:      f.lastFP,
+			Lag:         f.lastLag,
+			Loads:       f.loads,
+			Failures:    f.failures,
+			BreakerOpen: f.breaker.Open(),
+			ConsecFails: f.breaker.Failures(),
+			LastSuccess: f.lastSuccess,
+			LastError:   f.lastErr,
+			BatchAddrs:  f.lastBatchLen,
+			Confusion:   f.lastConfusion,
+		})
+	}
+	sort.Slice(st.Feeds, func(i, j int) bool { return st.Feeds[i].Name < st.Feeds[j].Name })
+	return st
+}
+
+// HealthCheck returns an obs readiness check: failing while the mesh is
+// degraded, with a detail line naming the quarantined feeds either way.
+func (m *Mesh) HealthCheck() obs.Check {
+	return func() (bool, string) {
+		st := m.Status()
+		detail := fmt.Sprintf("%d/%d feeds healthy", st.HealthyFeeds, st.TotalFeeds)
+		var bad []string
+		for _, f := range st.Feeds {
+			if f.State != StateHealthy {
+				bad = append(bad, f.Name+"="+f.State.String())
+			}
+		}
+		if len(bad) > 0 {
+			detail += " (" + strings.Join(bad, " ") + ")"
+		}
+		if st.Degraded {
+			return false, detail + "; degraded: serving last-good list"
+		}
+		return true, detail
+	}
+}
+
+// permille scales a ratio to an int64 gauge value (obs gauges are
+// integer-only).
+func permille(x float64) int64 { return int64(math.Round(x * 1000)) }

@@ -1,0 +1,403 @@
+package feedmesh
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"unclean/internal/blocklist"
+	"unclean/internal/ipset"
+)
+
+// fakeClock marches deterministically, one step per Tick.
+type fakeClock struct{ t time.Time }
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// fakeFeed is a controllable source: tests flip its fields between
+// Ticks (Tick is synchronous, so this is race-free).
+type fakeFeed struct {
+	name  string
+	addrs ipset.Set
+	asOf  time.Time
+	err   error
+}
+
+func (f *fakeFeed) Name() string { return f.name }
+func (f *fakeFeed) Load(context.Context) (Batch, error) {
+	if f.err != nil {
+		return Batch{}, f.err
+	}
+	return Batch{Addrs: f.addrs, AsOf: f.asOf}, nil
+}
+
+// testConfig is a small, fast-converging config on a fake clock.
+func testConfig(clk *fakeClock) Config {
+	cfg := DefaultConfig()
+	cfg.Interval = time.Minute
+	cfg.ProbationLoads = 2
+	cfg.Now = clk.now
+	return cfg
+}
+
+// tick advances the clock one interval and runs a round.
+func tick(t *testing.T, m *Mesh, clk *fakeClock) Round {
+	t.Helper()
+	clk.advance(time.Minute)
+	return m.Tick(context.Background())
+}
+
+func feedByName(t *testing.T, st Status, name string) FeedStatus {
+	t.Helper()
+	for _, f := range st.Feeds {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no feed %q in status", name)
+	return FeedStatus{}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig()); err == nil {
+		t.Error("no sources accepted")
+	}
+	a := &fakeFeed{name: "a"}
+	if _, err := New(DefaultConfig(), a, &fakeFeed{name: "a"}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := New(DefaultConfig(), &fakeFeed{name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad := DefaultConfig()
+	bad.Threshold = 1.5
+	if _, err := New(bad, a); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.Decay = 1
+	if _, err := New(bad, a); err == nil {
+		t.Error("decay = 1 accepted")
+	}
+}
+
+func TestMergeNeedsAgreement(t *testing.T) {
+	clk := newClock()
+	shared := ipset.MustParse("60.0.1.1 60.0.2.1")
+	a := &fakeFeed{name: "a", addrs: shared}
+	b := &fakeFeed{name: "b", addrs: shared}
+	c := &fakeFeed{name: "c", addrs: shared.Union(ipset.MustParse("60.0.9.1"))}
+	m, err := New(testConfig(clk), a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tick(t, m, clk)
+	if !r.Swapped {
+		t.Fatal("first merge did not swap")
+	}
+	list := m.List()
+	if list == nil {
+		t.Fatal("no merged list")
+	}
+	for _, addr := range []string{"60.0.1.99", "60.0.2.99"} {
+		if !list.Blocks(ipset.MustParse(addr).At(0)) {
+			t.Errorf("agreed block for %s not listed", addr)
+		}
+	}
+	// c's lone block has vote share 1/3 < 0.34: a single feed cannot
+	// list a block on its own.
+	if list.Blocks(ipset.MustParse("60.0.9.50").At(0)) {
+		t.Error("single-feed block was listed")
+	}
+	// Steady state must not re-swap.
+	if r2 := tick(t, m, clk); r2.Swapped {
+		t.Error("unchanged merge swapped again")
+	}
+}
+
+func TestDeadFeedQuarantinedAndContributionDecays(t *testing.T) {
+	clk := newClock()
+	cfg := testConfig(clk)
+	cfg.Threshold = 0.2
+	cfg.MinHealthyFrac = 0.1 // keep merging even with c gone
+	// Ground truth vouches for every block, so this test isolates the
+	// availability dynamics: in corroboration mode c's wholly-unique
+	// content would (correctly) erode its quality on its own.
+	cfg.Truth = &Truth{Hostile: ipset.MustParse("60.0.1.1 60.0.7.1")}
+	shared := ipset.MustParse("60.0.1.1")
+	a := &fakeFeed{name: "a", addrs: shared}
+	b := &fakeFeed{name: "b", addrs: shared}
+	c := &fakeFeed{name: "c", addrs: ipset.MustParse("60.0.7.1")}
+	m, err := New(cfg, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick(t, m, clk)
+	cBlock := ipset.MustParse("60.0.7.9").At(0)
+	if !m.List().Blocks(cBlock) {
+		t.Fatal("healthy c's block not listed at threshold 0.2")
+	}
+
+	c.err = errors.New("connection refused")
+	// First failed round: quality has only sagged, the block must still
+	// be served — contributions decay, they do not vanish in one reload.
+	tick(t, m, clk)
+	if !m.List().Blocks(cBlock) {
+		t.Fatal("contribution vanished after a single failed load")
+	}
+	var quarantinedAt int
+	for i := 2; i <= 10; i++ {
+		tick(t, m, clk)
+		if feedByName(t, m.Status(), "c").State == StateQuarantined {
+			quarantinedAt = i
+			break
+		}
+	}
+	if quarantinedAt == 0 {
+		t.Fatal("dead feed never quarantined")
+	}
+	if quarantinedAt > 5 {
+		t.Fatalf("dead feed quarantined only after %d rounds", quarantinedAt)
+	}
+	// Decay drives the weight down each round and the block out of the
+	// served list.
+	w1 := feedByName(t, m.Status(), "c").Weight
+	tick(t, m, clk)
+	w2 := feedByName(t, m.Status(), "c").Weight
+	if w2 >= w1 {
+		t.Fatalf("quarantined weight did not decay: %v -> %v", w1, w2)
+	}
+	for i := 0; i < 10; i++ {
+		tick(t, m, clk)
+	}
+	if m.List().Blocks(cBlock) {
+		t.Fatal("dead feed's block still served after full decay")
+	}
+	st := m.Status()
+	if f := feedByName(t, st, "c"); f.LastError == "" {
+		t.Error("quarantined feed has no LastError")
+	}
+}
+
+func TestDegradedServesLastGood(t *testing.T) {
+	clk := newClock()
+	cfg := testConfig(clk)
+	feeds := []*fakeFeed{
+		{name: "a", addrs: ipset.MustParse("60.0.1.1 60.0.2.1")},
+		{name: "b", addrs: ipset.MustParse("60.0.1.1 60.0.2.1")},
+		{name: "c", addrs: ipset.MustParse("60.0.1.1 60.0.2.1")},
+		{name: "d", addrs: ipset.MustParse("60.0.1.1 60.0.2.1")},
+	}
+	m, err := New(cfg, feeds[0], feeds[1], feeds[2], feeds[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick(t, m, clk)
+	want := m.List()
+	if want == nil || want.Len() == 0 {
+		t.Fatal("no initial merge")
+	}
+
+	// Kill three of four feeds: below MinHealthyFrac the mesh must
+	// freeze the last-good list and fail its health check, not rebuild
+	// from the lone survivor.
+	for _, f := range feeds[1:] {
+		f.err = errors.New("feed host down")
+	}
+	degraded := false
+	for i := 0; i < 8; i++ {
+		r := tick(t, m, clk)
+		if r.Degraded {
+			degraded = true
+			break
+		}
+	}
+	if !degraded {
+		t.Fatal("mesh never degraded with 1/4 feeds healthy")
+	}
+	if got := m.List(); got != want {
+		t.Error("degraded mesh rebuilt the list instead of serving last-good")
+	}
+	ok, detail := m.HealthCheck()()
+	if ok {
+		t.Errorf("health check passed while degraded (%s)", detail)
+	}
+
+	// Revive the feeds; after probation the mesh must recover.
+	for _, f := range feeds[1:] {
+		f.err = nil
+	}
+	recovered := false
+	for i := 0; i < 12; i++ {
+		r := tick(t, m, clk)
+		if !r.Degraded && r.HealthyFeeds == 4 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("mesh never recovered after feeds revived")
+	}
+	if ok, detail := m.HealthCheck()(); !ok {
+		t.Errorf("health check failing after recovery: %s", detail)
+	}
+}
+
+func TestProbationReadmission(t *testing.T) {
+	clk := newClock()
+	cfg := testConfig(clk)
+	cfg.MinHealthyFrac = 0.1
+	shared := ipset.MustParse("60.0.1.1")
+	a := &fakeFeed{name: "a", addrs: shared}
+	b := &fakeFeed{name: "b", addrs: shared}
+	c := &fakeFeed{name: "c", addrs: shared}
+	m, err := New(cfg, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick(t, m, clk)
+
+	c.err = errors.New("timeout")
+	for i := 0; i < 6; i++ {
+		tick(t, m, clk)
+	}
+	if st := feedByName(t, m.Status(), "c").State; st != StateQuarantined {
+		t.Fatalf("c state = %v, want quarantined", st)
+	}
+
+	c.err = nil
+	sawProbation := false
+	readmittedAt := 0
+	for i := 1; i <= 12; i++ {
+		tick(t, m, clk)
+		switch feedByName(t, m.Status(), "c").State {
+		case StateProbation:
+			sawProbation = true
+		case StateHealthy:
+			readmittedAt = i
+		}
+		if readmittedAt != 0 {
+			break
+		}
+	}
+	if !sawProbation {
+		t.Error("recovered feed skipped probation")
+	}
+	if readmittedAt == 0 {
+		t.Fatal("recovered feed never re-admitted")
+	}
+	// One clean load is not enough: probation takes ProbationLoads of
+	// them (plus the breaker's cooldown before the first probe).
+	if readmittedAt < cfg.ProbationLoads {
+		t.Fatalf("re-admitted after %d rounds, faster than probation allows", readmittedAt)
+	}
+}
+
+func TestProbationRelapseResets(t *testing.T) {
+	clk := newClock()
+	cfg := testConfig(clk)
+	cfg.ProbationLoads = 3
+	cfg.MinHealthyFrac = 0.1
+	cfg.BreakerCooldown = time.Minute // probe again next round
+	shared := ipset.MustParse("60.0.1.1")
+	a := &fakeFeed{name: "a", addrs: shared}
+	b := &fakeFeed{name: "b", addrs: shared}
+	c := &fakeFeed{name: "c", addrs: shared}
+	m, err := New(cfg, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick(t, m, clk)
+	c.err = errors.New("down")
+	for i := 0; i < 6; i++ {
+		tick(t, m, clk)
+	}
+
+	// One clean load puts it on probation...
+	c.err = nil
+	for i := 0; i < 3 && feedByName(t, m.Status(), "c").State != StateProbation; i++ {
+		tick(t, m, clk)
+	}
+	if st := feedByName(t, m.Status(), "c").State; st != StateProbation {
+		t.Fatalf("c state = %v, want probation", st)
+	}
+	// ...but a relapse sends it straight back to quarantine.
+	c.err = errors.New("down again")
+	tick(t, m, clk)
+	if st := feedByName(t, m.Status(), "c").State; st != StateQuarantined {
+		t.Fatalf("c state after relapse = %v, want quarantined", st)
+	}
+}
+
+func TestTruthModePoisonedFeedQuarantined(t *testing.T) {
+	clk := newClock()
+	cfg := testConfig(clk)
+	hostile := ipset.MustParse("60.0.1.1 60.0.2.1 60.0.3.1 60.0.4.1")
+	clean := ipset.MustParse("80.0.1.1 80.0.2.1 80.0.3.1 80.0.4.1 80.0.5.1 80.0.6.1")
+	cfg.Truth = &Truth{Hostile: hostile, Clean: clean}
+	honest := &fakeFeed{name: "honest", addrs: hostile}
+	honest2 := &fakeFeed{name: "honest2", addrs: hostile}
+	poisoned := &fakeFeed{name: "poisoned", addrs: hostile.Union(clean)}
+	m, err := New(cfg, honest, honest2, poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantinedAt := 0
+	for i := 1; i <= cfg.QualityWindow+1; i++ {
+		tick(t, m, clk)
+		if feedByName(t, m.Status(), "poisoned").State == StateQuarantined {
+			quarantinedAt = i
+			break
+		}
+		// The poisoned blocks must never reach the served list.
+		for _, cb := range clean.Blocks(cfg.Bits) {
+			if m.List() != nil && m.List().Blocks(cb.Base()) {
+				t.Fatalf("round %d: known-clean block %v served", i, cb)
+			}
+		}
+	}
+	if quarantinedAt == 0 {
+		t.Fatalf("poisoned feed not quarantined within one quality window (+1)")
+	}
+	if f := feedByName(t, m.Status(), "honest"); f.State != StateHealthy {
+		t.Errorf("honest feed state = %v, want healthy", f.State)
+	}
+	// Confusion matrix from the §6 evaluator is surfaced per feed.
+	if f := feedByName(t, m.Status(), "poisoned"); f.Confusion.FP == 0 {
+		t.Error("poisoned feed's confusion matrix shows no false positives")
+	}
+}
+
+func TestOnSwapFiresOnlyOnChange(t *testing.T) {
+	clk := newClock()
+	a := &fakeFeed{name: "a", addrs: ipset.MustParse("60.0.1.1")}
+	b := &fakeFeed{name: "b", addrs: ipset.MustParse("60.0.1.1")}
+	m, err := New(testConfig(clk), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	m.OnSwap(func(list *blocklist.Trie) {
+		if list == nil {
+			t.Error("OnSwap handed a nil list")
+		}
+		count++
+	})
+	for i := 0; i < 3; i++ {
+		tick(t, m, clk)
+	}
+	if count != 1 {
+		t.Fatalf("OnSwap fired %d times for one distinct list", count)
+	}
+	a.addrs = ipset.MustParse("60.0.1.1 60.0.5.1")
+	b.addrs = a.addrs
+	tick(t, m, clk)
+	if count != 2 {
+		t.Fatalf("OnSwap fired %d times after a list change, want 2", count)
+	}
+}

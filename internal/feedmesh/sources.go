@@ -1,0 +1,72 @@
+package feedmesh
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"unclean/internal/atomicfile"
+	"unclean/internal/ipset"
+	"unclean/internal/phishfeed"
+	"unclean/internal/report"
+	"unclean/internal/retry"
+)
+
+// sourcePolicy is the per-load retry budget a production source gets:
+// short, because the mesh itself retries every Interval and quarantines
+// feeds that keep failing.
+func sourcePolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      1,
+	}
+}
+
+// NewDirSource ingests a directory of report files (the paper's
+// per-phenomenon report sets) as one feed: the batch is the union of
+// every report's membership. Report files carry validity dates from the
+// study period, not data timestamps, so AsOf is left zero ("current as
+// of this load") and staleness is tracked by load success alone.
+func NewDirSource(name, dir string) Source {
+	return SourceFunc(name, func(ctx context.Context) (Batch, error) {
+		inv, err := report.LoadDirRetry(ctx, sourcePolicy(), dir)
+		if err != nil {
+			return Batch{}, err
+		}
+		return Batch{Addrs: inv.Addrs()}, nil
+	})
+}
+
+// NewPhishSource ingests a phishfeed incident file as one feed. A file
+// truncated mid-line by a non-atomic producer is salvaged: the valid
+// prefix loads and the cut point is logged. AsOf stays zero: the repo's
+// phish feeds are archival study-period data whose incident dates say
+// nothing about how fresh the file itself is, so staleness — like the
+// dir source's — is tracked by load success.
+func NewPhishSource(name, path string) Source {
+	return SourceFunc(name, func(ctx context.Context) (Batch, error) {
+		data, err := atomicfile.ReadFile(path)
+		if err != nil {
+			return Batch{}, err
+		}
+		f, badLine, err := phishfeed.ReadPrefix(bytes.NewReader(data))
+		if err != nil {
+			return Batch{}, err
+		}
+		if badLine > 0 {
+			meshLog.Warn("phish feed truncated mid-line; loaded valid prefix",
+				"feed", name, "path", path, "line", badLine, "incidents", f.Len())
+		}
+		if f.Len() == 0 && badLine > 0 {
+			return Batch{}, fmt.Errorf("feedmesh: %s: truncated at line %d with no valid prefix", path, badLine)
+		}
+		b := ipset.NewBuilder(f.Len())
+		for _, inc := range f.Incidents() {
+			b.Add(inc.Addr)
+		}
+		return Batch{Addrs: b.Build()}, nil
+	})
+}

@@ -42,11 +42,12 @@ const (
 	KindBreaker                // a circuit-breaker transition
 	KindExperiment             // one experiment stage
 	KindServer                 // daemon lifecycle: start, reload, stop, crash
+	KindMesh                   // a feed-mesh merge round or quarantine transition
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	"query", "feed_load", "checkpoint", "breaker", "experiment", "server",
+	"query", "feed_load", "checkpoint", "breaker", "experiment", "server", "mesh",
 }
 
 func (k Kind) String() string {

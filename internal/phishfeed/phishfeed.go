@@ -73,6 +73,23 @@ func (f *Feed) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// parseLine parses one incident line ("date,url,addr").
+func parseLine(text string) (Incident, error) {
+	parts := strings.Split(text, ",")
+	if len(parts) != 3 {
+		return Incident{}, fmt.Errorf("want 3 fields, got %d", len(parts))
+	}
+	date, err := time.Parse("2006-01-02", parts[0])
+	if err != nil {
+		return Incident{}, err
+	}
+	addr, err := netaddr.ParseAddr(parts[2])
+	if err != nil {
+		return Incident{}, err
+	}
+	return Incident{Reported: date, URL: parts[1], Addr: addr}, nil
+}
+
 // Read parses a feed written by Write. Unknown header lines and comments
 // are ignored; malformed incident lines are errors.
 func Read(r io.Reader) (*Feed, error) {
@@ -86,24 +103,53 @@ func Read(r io.Reader) (*Feed, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		parts := strings.Split(text, ",")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("phishfeed: line %d: want 3 fields, got %d", line, len(parts))
-		}
-		date, err := time.Parse("2006-01-02", parts[0])
+		inc, err := parseLine(text)
 		if err != nil {
 			return nil, fmt.Errorf("phishfeed: line %d: %v", line, err)
 		}
-		addr, err := netaddr.ParseAddr(parts[2])
-		if err != nil {
-			return nil, fmt.Errorf("phishfeed: line %d: %v", line, err)
-		}
-		f.Add(Incident{Reported: date, URL: parts[1], Addr: addr})
+		f.Add(inc)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// ReadPrefix parses a feed like Read, but tolerates the one failure mode
+// a non-atomic producer leaves behind: a file truncated mid-line. When
+// the only malformed line is the final non-blank one, the valid prefix
+// is returned along with that line's 1-based number so the caller can
+// log exactly where the feed was cut; badLine is 0 for a fully
+// well-formed feed. A malformed line with valid lines after it is real
+// corruption, not truncation, and fails exactly as Read does.
+func ReadPrefix(r io.Reader) (f *Feed, badLine int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	f = &Feed{}
+	line := 0
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was not the last one: corruption, not truncation.
+			return nil, 0, pendingErr
+		}
+		inc, perr := parseLine(text)
+		if perr != nil {
+			pendingErr = fmt.Errorf("phishfeed: line %d: %v", line, perr)
+			badLine = line
+			continue
+		}
+		f.Add(inc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return f, badLine, nil
 }
 
 // LureURL fabricates a plausible lure URL for a hosting address; used by

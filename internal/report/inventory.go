@@ -3,6 +3,8 @@ package report
 import (
 	"fmt"
 	"strings"
+
+	"unclean/internal/ipset"
 )
 
 // Inventory is an ordered collection of reports, rendered the way the
@@ -36,6 +38,17 @@ func (inv *Inventory) MustGet(tag string) *Report {
 		panic(fmt.Sprintf("report: no report tagged %q in inventory %q", tag, inv.Title))
 	}
 	return r
+}
+
+// Addrs returns the union of every report's membership — the flat
+// address view a feed aggregator wants when the per-report structure
+// does not matter (the feed mesh merges directories this way).
+func (inv *Inventory) Addrs() ipset.Set {
+	b := ipset.NewBuilder(0)
+	for _, r := range inv.Reports {
+		b.AddSet(r.Addrs)
+	}
+	return b.Build()
 }
 
 // Table renders the inventory as an aligned text table with the paper's

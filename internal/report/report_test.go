@@ -178,6 +178,26 @@ func TestInventory(t *testing.T) {
 	}()
 }
 
+func TestInventoryAddrs(t *testing.T) {
+	inv := &Inventory{}
+	if !inv.Addrs().IsEmpty() {
+		t.Fatal("empty inventory has addresses")
+	}
+	inv.Add(sampleReport()) // 12.1.1.1 12.1.1.2 200.5.6.7
+	inv.Add(New("scan", Observed, ClassScanning, "2006-10-01", "2006-10-14",
+		"scanners", ipset.MustParse("12.1.1.2 7.7.7.7")))
+	got := inv.Addrs()
+	// The union view: overlap between reports collapses.
+	if got.Len() != 4 {
+		t.Fatalf("Addrs len = %d, want 4", got.Len())
+	}
+	for _, a := range []string{"12.1.1.1", "12.1.1.2", "200.5.6.7", "7.7.7.7"} {
+		if !got.Contains(netaddr.MustParseAddr(a)) {
+			t.Errorf("Addrs missing %s", a)
+		}
+	}
+}
+
 func TestGroupDigits(t *testing.T) {
 	cases := map[int]string{
 		0: "0", 5: "5", 999: "999", 1000: "1,000", 621861: "621,861",

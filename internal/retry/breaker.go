@@ -115,6 +115,15 @@ func (b *Breaker) Record(err error) {
 // Open reports whether the circuit is currently refusing calls.
 func (b *Breaker) Open() bool { return !b.Allow() }
 
+// Failures returns the current consecutive-failure count — the distance
+// to (or past) the trip threshold. Status surfaces render it so an
+// operator can see a feed that is failing but has not tripped yet.
+func (b *Breaker) Failures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}
+
 // Do guards op with the breaker: if the circuit is open it returns
 // ErrOpen without calling op; otherwise it runs op and records the
 // outcome.

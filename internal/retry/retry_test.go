@@ -202,6 +202,39 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 }
 
+func TestBreakerFailuresCount(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Minute)
+	b.SetClock(func() time.Time { return clock })
+	boom := errors.New("x")
+	if b.Failures() != 0 {
+		t.Fatalf("fresh breaker Failures = %d", b.Failures())
+	}
+	b.Record(boom)
+	b.Record(boom)
+	if b.Failures() != 2 {
+		t.Fatalf("Failures after 2 errors = %d", b.Failures())
+	}
+	// A success wipes the consecutive count.
+	b.Record(nil)
+	if b.Failures() != 0 {
+		t.Fatalf("Failures after success = %d", b.Failures())
+	}
+	// The count keeps climbing past the threshold while the circuit is
+	// open — it reports consecutive failures, not a saturating trip flag.
+	for i := 0; i < 3; i++ {
+		b.Record(boom)
+	}
+	if !b.Open() || b.Failures() != 3 {
+		t.Fatalf("open=%v Failures=%d, want open with 3", b.Open(), b.Failures())
+	}
+	clock = clock.Add(2 * time.Minute)
+	b.Record(boom) // failed half-open probe
+	if b.Failures() != 4 {
+		t.Fatalf("Failures after failed probe = %d, want 4", b.Failures())
+	}
+}
+
 func TestBreakerSuccessResetsCount(t *testing.T) {
 	b := NewBreaker(3, time.Minute)
 	boom := errors.New("x")

@@ -1,0 +1,323 @@
+// Adversarial feed generators: the reporter population a multi-feed
+// aggregator actually faces. The simulated world (world.go) models bot
+// behavior; this file models *reporting* behavior — honest partial
+// coverage, duplicated batches, lagged views, poisoned injections of
+// known-clean space, conflicting feeds that list only clean addresses,
+// and availability faults (dead, flapping). Everything is derived from
+// a seed with per-(reporter, round) RNG forks, so a chaos scenario's
+// feed contents are identical across runs and independent of the order
+// reporters are polled in.
+
+package simnet
+
+import (
+	"errors"
+	"time"
+
+	"unclean/internal/ipset"
+	"unclean/internal/netaddr"
+	"unclean/internal/stats"
+)
+
+// ErrFeedDown is what an adversarial reporter returns while its fault
+// schedule has it offline.
+var ErrFeedDown = errors.New("simnet: feed down")
+
+// FeedSimConfig sizes a feed simulation. Zero fields take defaults.
+type FeedSimConfig struct {
+	// Seed drives every sample below.
+	Seed uint64
+	// Rounds is how many reporting rounds are precomputed; Advance past
+	// the last round saturates.
+	Rounds int
+	// HostileBlocks and CleanBlocks size the two /24 pools. The clean
+	// pool is what poisoned and conflicting reporters inject from.
+	HostileBlocks, CleanBlocks int
+	// PerBlock is the initial address count per hostile/clean block
+	// (max 250).
+	PerBlock int
+	// ChurnPerRound is how many new hostile addresses appear each round.
+	ChurnPerRound int
+	// Start and Interval place rounds on the clock; AsOf timestamps and
+	// lag computations derive from them.
+	Start    time.Time
+	Interval time.Duration
+}
+
+func (c FeedSimConfig) withDefaults() FeedSimConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 64
+	}
+	if c.HostileBlocks == 0 {
+		c.HostileBlocks = 12
+	}
+	if c.CleanBlocks == 0 {
+		c.CleanBlocks = 24
+	}
+	if c.PerBlock == 0 {
+		c.PerBlock = 6
+	}
+	if c.PerBlock > 250 {
+		c.PerBlock = 250
+	}
+	if c.ChurnPerRound == 0 {
+		c.ChurnPerRound = 4
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Interval == 0 {
+		c.Interval = time.Minute
+	}
+	return c
+}
+
+// Address layout: hostile blocks come from 60.0.0.0, clean blocks from
+// 80.0.0.0 — ordinary routable space, so nothing downstream trips a
+// reserved-range filter.
+const (
+	hostileBase = uint32(60) << 24
+	cleanBase   = uint32(80) << 24
+)
+
+// FeedSim is a deterministic population of hostile and clean addresses
+// evolving over reporting rounds, plus the ground truth an evaluator
+// scores feeds against. All views are precomputed at construction; the
+// only mutable state is the current round cursor.
+type FeedSim struct {
+	cfg   FeedSimConfig
+	round int
+	// byRound[r] is the hostile set as of round r (cumulative: churn
+	// only adds addresses, so earlier views are subsets of later ones).
+	byRound []ipset.Set
+	clean   ipset.Set
+}
+
+// NewFeedSim precomputes a feed simulation from cfg.
+func NewFeedSim(cfg FeedSimConfig) *FeedSim {
+	cfg = cfg.withDefaults()
+	s := &FeedSim{cfg: cfg}
+
+	cb := ipset.NewBuilder(cfg.CleanBlocks * cfg.PerBlock)
+	for i := 0; i < cfg.CleanBlocks; i++ {
+		base := cleanBase | uint32(i)<<8
+		for j := 0; j < cfg.PerBlock; j++ {
+			cb.Add(netaddr.Addr(base | uint32(j+1)))
+		}
+	}
+	s.clean = cb.Build()
+
+	nextHost := make([]int, cfg.HostileBlocks)
+	var hostile []netaddr.Addr
+	for i := 0; i < cfg.HostileBlocks; i++ {
+		base := hostileBase | uint32(i)<<8
+		for j := 0; j < cfg.PerBlock; j++ {
+			hostile = append(hostile, netaddr.Addr(base|uint32(j+1)))
+		}
+		nextHost[i] = cfg.PerBlock + 1
+	}
+	s.byRound = make([]ipset.Set, cfg.Rounds)
+	s.byRound[0] = ipset.FromAddrs(hostile)
+	churn := stats.NewRNG(cfg.Seed).Fork(0xC0FFEE)
+	for r := 1; r < cfg.Rounds; r++ {
+		rr := churn.Fork(uint64(r))
+		for k := 0; k < cfg.ChurnPerRound; k++ {
+			b := rr.Intn(cfg.HostileBlocks)
+			if nextHost[b] > 250 {
+				continue
+			}
+			hostile = append(hostile, netaddr.Addr(hostileBase|uint32(b)<<8|uint32(nextHost[b])))
+			nextHost[b]++
+		}
+		s.byRound[r] = ipset.FromAddrs(hostile)
+	}
+	return s
+}
+
+// Round returns the current round cursor.
+func (s *FeedSim) Round() int { return s.round }
+
+// Advance moves to the next round (saturating at the precomputed
+// horizon).
+func (s *FeedSim) Advance() {
+	if s.round < s.cfg.Rounds-1 {
+		s.round++
+	}
+}
+
+// TimeOf returns the wall-clock time of a round.
+func (s *FeedSim) TimeOf(round int) time.Time {
+	return s.cfg.Start.Add(time.Duration(round) * s.cfg.Interval)
+}
+
+// Now returns the current round's time.
+func (s *FeedSim) Now() time.Time { return s.TimeOf(s.round) }
+
+// HostileAt returns the hostile population as of a round (clamped).
+func (s *FeedSim) HostileAt(round int) ipset.Set {
+	if round < 0 {
+		round = 0
+	}
+	if round >= len(s.byRound) {
+		round = len(s.byRound) - 1
+	}
+	return s.byRound[round]
+}
+
+// Hostile returns the current hostile population.
+func (s *FeedSim) Hostile() ipset.Set { return s.HostileAt(s.round) }
+
+// Clean returns the static known-clean pool.
+func (s *FeedSim) Clean() ipset.Set { return s.clean }
+
+// Truth returns the ground truth an evaluator should score against:
+// every address that is hostile at any simulated round, and the clean
+// pool. (Hostile membership is cumulative, so the final round's view is
+// the all-time union.)
+func (s *FeedSim) Truth() (hostile, clean ipset.Set) {
+	return s.byRound[len(s.byRound)-1], s.clean
+}
+
+// FaultSchedule decides, per round, whether a reporter is reachable;
+// non-nil means the load fails with that error.
+type FaultSchedule func(round int) error
+
+// AlwaysDown is the dead feed: every load fails.
+func AlwaysDown() FaultSchedule {
+	return func(int) error { return ErrFeedDown }
+}
+
+// Flapping alternates availability: up rounds reachable, then down
+// rounds failing, repeating.
+func Flapping(up, down int) FaultSchedule {
+	if up < 1 {
+		up = 1
+	}
+	if down < 1 {
+		down = 1
+	}
+	cycle := up + down
+	return func(round int) error {
+		if round%cycle < up {
+			return nil
+		}
+		return ErrFeedDown
+	}
+}
+
+// Reporter is one simulated feed over a FeedSim. Its Report method is
+// deterministic per (reporter name, round) regardless of how many other
+// reporters exist or in what order they are polled.
+type Reporter struct {
+	name     string
+	sim      *FeedSim
+	coverage float64 // probability a hostile address is reported
+	poison   float64 // probability a clean-pool address is injected
+	lag      int     // rounds behind the current view
+	frozen   bool    // always replay the round-0 view (duplicated feed)
+	conflict bool    // report the clean pool instead of the hostile one
+	faults   FaultSchedule
+}
+
+// Name returns the reporter's name.
+func (r *Reporter) Name() string { return r.name }
+
+// WithFaults attaches an availability schedule and returns the reporter.
+func (r *Reporter) WithFaults(fs FaultSchedule) *Reporter {
+	r.faults = fs
+	return r
+}
+
+// CleanReporter is an honest feed with partial coverage.
+func (s *FeedSim) CleanReporter(name string, coverage float64) *Reporter {
+	return &Reporter{name: name, sim: s, coverage: coverage}
+}
+
+// PoisonedReporter reports honestly at the given coverage but also
+// injects known-clean addresses, each with probability poison — the
+// attacker trying to get innocent space blocklisted.
+func (s *FeedSim) PoisonedReporter(name string, coverage, poison float64) *Reporter {
+	return &Reporter{name: name, sim: s, coverage: coverage, poison: poison}
+}
+
+// LaggedReporter reports an old view of the world: the hostile set as
+// of lag rounds ago, timestamped accordingly.
+func (s *FeedSim) LaggedReporter(name string, coverage float64, lag int) *Reporter {
+	return &Reporter{name: name, sim: s, coverage: coverage, lag: lag}
+}
+
+// DuplicatedReporter samples the round-0 view once and replays that
+// identical batch forever, always claiming it is fresh.
+func (s *FeedSim) DuplicatedReporter(name string, coverage float64) *Reporter {
+	return &Reporter{name: name, sim: s, coverage: coverage, frozen: true}
+}
+
+// ConflictingReporter reports only known-clean addresses — a feed whose
+// opinion is the exact opposite of ground truth.
+func (s *FeedSim) ConflictingReporter(name string, coverage float64) *Reporter {
+	return &Reporter{name: name, sim: s, coverage: coverage, conflict: true}
+}
+
+// Report produces the reporter's batch for the simulation's current
+// round: the addresses, the time the data claims to be from, and the
+// fault-schedule error when offline.
+func (r *Reporter) Report() (ipset.Set, time.Time, error) {
+	round := r.sim.round
+	if r.faults != nil {
+		if err := r.faults(round); err != nil {
+			return ipset.Set{}, time.Time{}, err
+		}
+	}
+	view := round
+	if r.frozen {
+		view = 0
+	} else if r.lag > 0 {
+		view = round - r.lag
+		if view < 0 {
+			view = 0
+		}
+	}
+	// Per-(reporter, view) generator rebuilt from the seed on every call:
+	// RNG.Fork advances its parent, so forking a shared generator would
+	// make batches depend on polling order. A frozen reporter re-samples
+	// the same view and gets the identical batch; everyone else gets an
+	// order-independent draw per round.
+	rng := stats.NewRNG(r.sim.cfg.Seed).Fork(hashName(r.name)).Fork(uint64(view))
+
+	b := ipset.NewBuilder(0)
+	pool := r.sim.HostileAt(view)
+	if r.conflict {
+		pool = r.sim.clean
+	}
+	cov := rng.Fork(1)
+	pool.Each(func(a netaddr.Addr) bool {
+		if cov.Bool(r.coverage) {
+			b.Add(a)
+		}
+		return true
+	})
+	if r.poison > 0 && !r.conflict {
+		poi := rng.Fork(2)
+		r.sim.clean.Each(func(a netaddr.Addr) bool {
+			if poi.Bool(r.poison) {
+				b.Add(a)
+			}
+			return true
+		})
+	}
+	asOf := r.sim.TimeOf(view)
+	if r.frozen {
+		asOf = r.sim.Now() // a duplicated feed lies about freshness
+	}
+	return b.Build(), asOf, nil
+}
+
+// hashName is FNV-1a, giving each reporter a stable fork label.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,171 @@
+package simnet
+
+import (
+	"testing"
+
+	"unclean/internal/netaddr"
+)
+
+func TestFeedSimDeterministic(t *testing.T) {
+	mk := func() *FeedSim {
+		return NewFeedSim(FeedSimConfig{Seed: 7, Rounds: 8, HostileBlocks: 4, CleanBlocks: 4, PerBlock: 5, ChurnPerRound: 3})
+	}
+	a, b := mk(), mk()
+	for r := 0; r < 8; r++ {
+		if !a.HostileAt(r).Equal(b.HostileAt(r)) {
+			t.Fatalf("round %d: hostile sets differ across identical sims", r)
+		}
+	}
+	ra, rb := a.CleanReporter("x", 0.7), b.CleanReporter("x", 0.7)
+	for r := 0; r < 8; r++ {
+		sa, _, _ := ra.Report()
+		sb, _, _ := rb.Report()
+		if !sa.Equal(sb) {
+			t.Fatalf("round %d: reporter batches differ across identical sims", r)
+		}
+		a.Advance()
+		b.Advance()
+	}
+}
+
+func TestFeedSimReporterOrderIndependent(t *testing.T) {
+	// The same named reporter must produce the same batch whether or not
+	// other reporters were polled first.
+	a := NewFeedSim(FeedSimConfig{Seed: 3})
+	b := NewFeedSim(FeedSimConfig{Seed: 3})
+	noiseA := a.PoisonedReporter("noise", 0.9, 0.5)
+	_ = noiseA
+	ra := a.CleanReporter("target", 0.8)
+	rb := b.CleanReporter("target", 0.8)
+	if _, _, err := a.PoisonedReporter("other", 0.5, 0.5).Report(); err != nil {
+		t.Fatal(err)
+	}
+	sa, _, _ := ra.Report()
+	sb, _, _ := rb.Report()
+	if !sa.Equal(sb) {
+		t.Fatal("polling other reporters changed a reporter's batch")
+	}
+}
+
+func TestFeedSimChurnIsCumulative(t *testing.T) {
+	s := NewFeedSim(FeedSimConfig{Seed: 1, Rounds: 6, ChurnPerRound: 5})
+	for r := 1; r < 6; r++ {
+		prev, cur := s.HostileAt(r-1), s.HostileAt(r)
+		if cur.Len() < prev.Len() {
+			t.Fatalf("round %d: hostile population shrank", r)
+		}
+		if prev.Difference(cur).Len() != 0 {
+			t.Fatalf("round %d: an address stopped being hostile", r)
+		}
+	}
+	hostile, clean := s.Truth()
+	if !hostile.Equal(s.HostileAt(5)) {
+		t.Fatal("Truth hostile is not the final cumulative view")
+	}
+	if hostile.Intersect(clean).Len() != 0 {
+		t.Fatal("hostile and clean pools overlap")
+	}
+}
+
+func TestPoisonedReporterInjectsClean(t *testing.T) {
+	s := NewFeedSim(FeedSimConfig{Seed: 11})
+	r := s.PoisonedReporter("poison", 0.9, 0.6)
+	batch, _, err := r.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := batch.Intersect(s.Clean()).Len()
+	tp := batch.Intersect(s.Hostile()).Len()
+	if fp == 0 {
+		t.Fatal("poisoned reporter injected no clean addresses")
+	}
+	if tp == 0 {
+		t.Fatal("poisoned reporter reported no hostile addresses (should blend in)")
+	}
+}
+
+func TestConflictingReporterOnlyClean(t *testing.T) {
+	s := NewFeedSim(FeedSimConfig{Seed: 11})
+	batch, _, err := s.ConflictingReporter("conflict", 0.8).Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() == 0 {
+		t.Fatal("conflicting reporter reported nothing")
+	}
+	if batch.Intersect(s.Hostile()).Len() != 0 {
+		t.Fatal("conflicting reporter leaked hostile addresses")
+	}
+}
+
+func TestLaggedReporterSeesOldView(t *testing.T) {
+	s := NewFeedSim(FeedSimConfig{Seed: 5, Rounds: 16, ChurnPerRound: 8})
+	lagged := s.LaggedReporter("lagged", 1.0, 4)
+	for i := 0; i < 10; i++ {
+		s.Advance()
+	}
+	batch, asOf, err := lagged.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Equal(s.HostileAt(6)) {
+		t.Fatal("lagged reporter at full coverage should report exactly the lagged view")
+	}
+	if want := s.TimeOf(6); !asOf.Equal(want) {
+		t.Fatalf("lagged AsOf = %v, want %v", asOf, want)
+	}
+	if fresh := s.HostileAt(10).Difference(batch); fresh.Len() == 0 {
+		t.Fatal("test not meaningful: no churn between lagged view and now")
+	}
+}
+
+func TestDuplicatedReporterFrozen(t *testing.T) {
+	s := NewFeedSim(FeedSimConfig{Seed: 9, Rounds: 8, ChurnPerRound: 6})
+	dup := s.DuplicatedReporter("dup", 0.9)
+	first, asOf0, _ := dup.Report()
+	s.Advance()
+	s.Advance()
+	again, asOf2, _ := dup.Report()
+	if !first.Equal(again) {
+		t.Fatal("duplicated reporter's batch changed")
+	}
+	if !asOf2.After(asOf0) {
+		t.Fatal("duplicated reporter should claim freshness (AsOf advances)")
+	}
+}
+
+func TestFaultSchedules(t *testing.T) {
+	down := AlwaysDown()
+	for r := 0; r < 3; r++ {
+		if down(r) == nil {
+			t.Fatal("AlwaysDown returned nil")
+		}
+	}
+	fl := Flapping(2, 3)
+	want := []bool{true, true, false, false, false, true, true, false}
+	for r, up := range want {
+		if got := fl(r) == nil; got != up {
+			t.Fatalf("Flapping(2,3) round %d: up=%v, want %v", r, got, up)
+		}
+	}
+
+	s := NewFeedSim(FeedSimConfig{Seed: 2})
+	r := s.CleanReporter("dead", 0.9).WithFaults(AlwaysDown())
+	if _, _, err := r.Report(); err == nil {
+		t.Fatal("reporter with AlwaysDown schedule did not fail")
+	}
+}
+
+func TestFeedSimAddressesNotReserved(t *testing.T) {
+	s := NewFeedSim(FeedSimConfig{Seed: 1})
+	check := func(set interface{ Each(func(netaddr.Addr) bool) }) {
+		set.Each(func(a netaddr.Addr) bool {
+			if netaddr.IsReserved(a) {
+				t.Fatalf("generated reserved address %s", a)
+			}
+			return true
+		})
+	}
+	check(s.Hostile())
+	check(s.Clean())
+}
