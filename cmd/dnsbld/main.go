@@ -22,7 +22,11 @@
 // quantiles, rolling-window rates, and SLO burn), /healthz (liveness),
 // /readyz (readiness: breaker state, feed staleness, shed rate),
 // /debug/events (the flight-recorder ring of recent wide events),
-// /debug/pprof/ and /debug/vars. Operational events (reloads, breaker
+// /debug/topk (sampled query analytics: top clients, hottest subnets,
+// unique-client estimate, and the prediction scoreboard — addresses
+// queried before they were listed, with query→listing lag quantiles),
+// /debug/pprof/ and /debug/vars. -analytics-sample tunes the 1-in-N
+// sketch sampling (0 disables the tap entirely). Operational events (reloads, breaker
 // trips, checkpoint recoveries) are structured slog records on stderr;
 // -log-format json selects machine-readable logs and -log-level debug
 // more detail (each flag overrides its UNCLEAN_LOG_FORMAT /
@@ -59,7 +63,7 @@
 //	       [-scale N] [-seed N] [-selfcheck N] [-metrics ADDR]
 //	       [-reports DIR] [-reload DUR] [-checkpoint PATH]
 //	       [-checkpoint-every DUR] [-halflife DUR] [-workers N] [-queue N]
-//	       [-shards N] [-batch N] [-tcp] [-max-udp N]
+//	       [-shards N] [-batch N] [-tcp] [-max-udp N] [-analytics-sample N]
 //	       [-feed NAME=PATH ...] [-mesh-threshold F]
 //	       [-log-format text|json] [-log-level LEVEL] [-flight-dump PATH]
 package main
@@ -124,6 +128,7 @@ type options struct {
 	workers, queue  int
 	shards, batch   int
 	maxUDP          int
+	analyticsSample int
 	tcp             bool
 	feeds           []string
 	meshThreshold   float64
@@ -152,6 +157,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.shards, "shards", 0, "serve with this many batched SO_REUSEPORT shards (-1 = one per core, 0 = legacy worker pool)")
 	fs.IntVar(&o.batch, "batch", 0, "datagrams per batched syscall on the sharded path (0 = default)")
 	fs.IntVar(&o.maxUDP, "max-udp", 0, "UDP response size limit; larger answers are truncated with TC set (0 = 512)")
+	fs.IntVar(&o.analyticsSample, "analytics-sample", 64,
+		"sample 1 in N packets into the query-analytics sketches, rounded to a power of two (0 disables analytics and /debug/topk)")
 	fs.BoolVar(&o.tcp, "tcp", false, "also answer queries over TCP on the same address (serves TC-bit retries)")
 	fs.Func("feed", "mesh feed as NAME=PATH (report directory or phishfeed file); repeatable", func(v string) error {
 		o.feeds = append(o.feeds, v)
@@ -194,6 +201,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if o.maxUDP < 0 {
 		return nil, fmt.Errorf("-max-udp must be 0 (default 512) or a positive byte limit; got %d", o.maxUDP)
+	}
+	if o.analyticsSample < 0 {
+		return nil, fmt.Errorf("-analytics-sample must be 0 (disabled) or a positive 1-in-N rate; got %d", o.analyticsSample)
 	}
 	if o.meshThreshold <= 0 || o.meshThreshold > 1 {
 		return nil, fmt.Errorf("-mesh-threshold must be in (0, 1]; got %g", o.meshThreshold)
@@ -257,11 +267,12 @@ func applyLogFlags(o *options) {
 
 // metricsMux assembles the daemon's diagnostic HTTP surface: Prometheus
 // text + JSON exposition of the merged registries, health endpoints,
-// the flight-recorder event ring, pprof profiling, and expvar. A
-// dedicated mux (not http.DefaultServeMux) keeps the surface explicit
-// and testable. A nil health serves an always-ready check set; a nil
-// recorder serves the process-default ring.
-func metricsMux(health *obs.Health, events *flight.Recorder, regs ...*obs.Registry) *http.ServeMux {
+// the flight-recorder event ring, the analytics top-k view, pprof
+// profiling, and expvar. A dedicated mux (not http.DefaultServeMux)
+// keeps the surface explicit and testable. A nil health serves an
+// always-ready check set; a nil recorder serves the process-default
+// ring; a nil analytics leaves /debug/topk unmounted.
+func metricsMux(health *obs.Health, events *flight.Recorder, analytics *dnsbl.Analytics, regs ...*obs.Registry) *http.ServeMux {
 	if health == nil {
 		health = obs.NewHealth()
 	}
@@ -275,6 +286,9 @@ func metricsMux(health *obs.Health, events *flight.Recorder, regs ...*obs.Regist
 	mux.Handle("/healthz", health.LiveHandler())
 	mux.Handle("/readyz", health.ReadyHandler())
 	mux.Handle("/debug/events", events.Handler())
+	if analytics != nil {
+		mux.Handle("/debug/topk", analytics.Handler())
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -287,16 +301,20 @@ func metricsMux(health *obs.Health, events *flight.Recorder, regs ...*obs.Regist
 // serveMetrics binds the diagnostic HTTP listener and serves it in the
 // background. The returned shutdown func closes the listener; the
 // returned address is the bound one (useful with ":0").
-func serveMetrics(addr string, health *obs.Health, events *flight.Recorder, regs ...*obs.Registry) (string, func(), error) {
+func serveMetrics(addr string, health *obs.Health, events *flight.Recorder, analytics *dnsbl.Analytics, regs ...*obs.Registry) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listen: %w", err)
 	}
-	hs := &http.Server{Handler: metricsMux(health, events, regs...)}
+	hs := &http.Server{Handler: metricsMux(health, events, analytics, regs...)}
 	go hs.Serve(ln) //nolint:errcheck // Close below is the shutdown path
+	endpoints := "/metrics /metrics.json /healthz /readyz /debug/events /debug/pprof/ /debug/vars"
+	if analytics != nil {
+		endpoints += " /debug/topk"
+	}
 	logger.Info("metrics listening",
 		"addr", ln.Addr().String(),
-		"endpoints", "/metrics /metrics.json /healthz /readyz /debug/events /debug/pprof/ /debug/vars")
+		"endpoints", endpoints)
 	return ln.Addr().String(), func() { hs.Close() }, nil
 }
 
@@ -551,6 +569,16 @@ func run(ctx context.Context, args []string) error {
 	}
 	srv.SetConcurrency(o.workers, o.queue)
 	srv.SetMaxUDPSize(o.maxUDP)
+	// The analytics tap must exist before the shard loops start (they
+	// capture it once); the mesh's contributor map attributes confirmed
+	// predictions to the feeds that voted the block in.
+	var analytics *dnsbl.Analytics
+	if o.analyticsSample > 0 {
+		analytics = srv.EnableAnalytics(dnsbl.AnalyticsConfig{SampleN: o.analyticsSample})
+		if mesh != nil {
+			analytics.SetAttributor(mesh.Contributors)
+		}
+	}
 	if mesh != nil {
 		mesh.OnSwap(srv.SetList)
 	}
@@ -568,7 +596,7 @@ func run(ctx context.Context, args []string) error {
 		if mesh != nil {
 			regs = append(regs, mesh.Metrics())
 		}
-		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), regs...)
+		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), analytics, regs...)
 		if err != nil {
 			return err
 		}

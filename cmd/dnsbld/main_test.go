@@ -138,7 +138,7 @@ func reservePort(t *testing.T) (string, func(), error) {
 func TestMetricsMuxEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("unclean_test_mux_total", "mux test counter").Add(7)
-	mux := metricsMux(nil, nil, reg)
+	mux := metricsMux(nil, nil, nil, reg)
 
 	get := func(path string) (*http.Response, string) {
 		t.Helper()
@@ -629,5 +629,130 @@ func TestRunShardedGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("sharded run did not shut down after cancel")
+	}
+}
+
+// The acceptance path for the analytics scoreboard: a running daemon
+// answers queries for not-yet-listed addresses, the feed then lists
+// them, and the next reload's sweep reports them as confirmed
+// predictions on /debug/topk and /metrics with sane lag quantiles.
+func TestRunAnalyticsScoreboardEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeReports(t, dir)
+
+	// Reserve loopback ports for the UDP serving socket and the metrics
+	// listener, then hand them to the daemon.
+	uc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpAddr := uc.LocalAddr().String()
+	uc.Close()
+	maddr, release, err := reservePort(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", udpAddr, "-reports", dir, "-reload", "200ms",
+			"-threshold", "0.5", "-selfcheck", "0", "-shards", "1",
+			"-metrics", maddr, "-analytics-sample", "1",
+		})
+	}()
+	defer func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("run did not shut down after cancel")
+		}
+	}()
+
+	// Wait for the daemon to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if res, err := http.Get("http://" + maddr + "/healthz"); err == nil {
+			res.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Query addresses the list does not contain yet — these land in the
+	// prediction rings as misses.
+	for _, probe := range []string{"10.9.9.1", "10.9.9.2", "10.9.9.3"} {
+		listed, _, err := dnsbl.Lookup(udpAddr, "bl.unclean.example", netaddr.MustParseAddr(probe), 2*time.Second)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", probe, err)
+		}
+		if listed {
+			t.Fatalf("%s listed before the feed update", probe)
+		}
+	}
+
+	// The feed catches up: a new report lists the queried /24.
+	inv := &report.Inventory{}
+	inv.Add(report.New("bot-late", report.Observed, report.ClassBots,
+		"2006-10-01", "2006-10-14", "darknet",
+		ipset.MustParse("10.9.9.1 10.9.9.2 10.9.9.3 10.9.9.4 10.9.9.5 10.9.9.6 10.9.9.7 10.9.9.8")))
+	if err := inv.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next reload sweep must confirm the three predictions.
+	var doc struct {
+		Prediction struct {
+			Predicted uint64 `json:"predicted_total"`
+			LagP50    string `json:"lag_p50"`
+		} `json:"prediction"`
+	}
+	for {
+		res, err := http.Get("http://" + maddr + "/debug/topk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("/debug/topk not JSON: %v\n%s", err, body)
+		}
+		if doc.Prediction.Predicted >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("predictions never confirmed: %s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	lag, err := time.ParseDuration(doc.Prediction.LagP50)
+	if err != nil || lag <= 0 || lag > time.Minute {
+		t.Fatalf("lag_p50 = %q, want a sane positive duration", doc.Prediction.LagP50)
+	}
+
+	// The same counters ride the Prometheus surface.
+	res, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	text := string(body)
+	for _, series := range []string{
+		"unclean_analytics_predicted_total", "unclean_analytics_sweeps_total",
+		"unclean_analytics_sampled_total", "unclean_analytics_prediction_lag_seconds",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
 	}
 }

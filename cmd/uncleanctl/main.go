@@ -64,6 +64,8 @@ func run(args []string) error {
 		return cmdFigures(args[1:])
 	case "status":
 		return cmdStatus(args[1:])
+	case "top":
+		return cmdTop(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -90,6 +92,9 @@ commands:
   figures -out DIR      render every figure (and the Table 3 sweep) as SVG
   status  -metrics ADDR one-screen health/SLO/event view of a running
                         dnsbld (reads its diagnostic HTTP surface)
+  top     -metrics ADDR live query analytics of a running dnsbld: top
+                        clients, hottest subnets, and the prediction
+                        scoreboard (addresses queried before listing)
 
 common flags: -scale (denominator: 64 means 1/64 of paper scale), -seed, -draws
 `)

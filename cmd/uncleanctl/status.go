@@ -240,10 +240,11 @@ func feedStateName(s int64) string {
 	return fmt.Sprintf("state=%d", s)
 }
 
-// writeFeedTable renders the feed-mesh section when the daemon exposes
-// unclean_feedmesh_* series: one summary line for the mesh, then a row
-// per feed. Daemons not running a mesh produce no such series and no
-// section.
+// writeFeedTable renders the feed-mesh section: one summary line for
+// the mesh, then a row per feed, from the daemon's unclean_feedmesh_*
+// series. A daemon not running a mesh produces no such series; the
+// section then says so explicitly, so an operator can tell "no mesh
+// configured" apart from "mesh metrics went missing".
 func writeFeedTable(w io.Writer, mets *metricsDoc) {
 	rows := map[string]*feedRow{}
 	var merged, healthy, poisonPm, degraded *int64
@@ -293,6 +294,7 @@ func writeFeedTable(w io.Writer, mets *metricsDoc) {
 		}
 	}
 	if len(rows) == 0 {
+		fmt.Fprintf(w, "\nfeed mesh: none (daemon runs a single feed; start dnsbld with -feed NAME=PATH flags to mesh)\n")
 		return
 	}
 	fmt.Fprintf(w, "\nfeed mesh: %d/%d feeds healthy", deref64(healthy), len(rows))

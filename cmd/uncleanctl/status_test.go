@@ -82,9 +82,13 @@ func TestWriteStatus(t *testing.T) {
 	if strings.Contains(got, "unclean_dnsbl_window_shed_total") {
 		t.Errorf("idle windowed counter rendered:\n%s", got)
 	}
-	// No unclean_feedmesh_* series means no mesh section.
-	if strings.Contains(got, "feed mesh") {
-		t.Errorf("mesh section rendered without mesh series:\n%s", got)
+	// No unclean_feedmesh_* series: the section must say "no mesh"
+	// explicitly rather than silently vanish.
+	if !strings.Contains(got, "feed mesh: none") {
+		t.Errorf("non-mesh daemon missing the explicit no-mesh line:\n%s", got)
+	}
+	if strings.Contains(got, "FEED") {
+		t.Errorf("feed table rendered without mesh series:\n%s", got)
 	}
 }
 

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The top view renders the merged analytics sketches and the prediction
+// scoreboard from /debug/topk — verified against a fake daemon so the
+// rendering contract is pinned without a live dnsbld.
+func TestWriteTop(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/topk", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("n"); got != "5" {
+			t.Errorf("topk request n=%q, want 5", got)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{
+			"zone": "bl.unclean.example",
+			"sample_n": 64,
+			"sampled_observations": 1024,
+			"unique_clients_estimate": 37,
+			"top_clients": [
+				{"key": "198.51.100.7", "count": 12800, "err": 64}
+			],
+			"hot_subnets": [
+				{"key": "10.1.1.0/24", "count": 8320, "cms_estimate": 8448}
+			],
+			"hit_blocks": {
+				"/8":  [{"key": "10.0.0.0/8", "count": 8320}],
+				"/24": [{"key": "10.1.1.0/24", "count": 8320, "feeds": ["honeypot"]}]
+			},
+			"prediction": {
+				"sweeps": 3,
+				"predicted_total": 17,
+				"pending_misses": 2,
+				"lag_p50": "1.2s", "lag_p95": "4s", "lag_p99": "9s",
+				"top_blocks": [
+					{"key": "10.9.9.0/24", "count": 17, "feeds": ["honeypot", "spamtrap"]}
+				]
+			}
+		}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	if err := writeTop(&out, &http.Client{Timeout: time.Second}, ts.URL, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"zone bl.unclean.example: 1024 packets sampled (1 in 64), ~37 unique clients",
+		"top clients:",
+		"198.51.100.7", "12800 (±64)",
+		"hot /24 subnets:",
+		"10.1.1.0/24", "cms≤8448",
+		"listed answers by /8:",
+		"10.0.0.0/8",
+		"listed answers by /24:",
+		"listed by honeypot",
+		"prediction scoreboard: 3 sweeps, 17 confirmed (queried before listed), 2 misses pending",
+		"query→listing lag: p50 1.2s, p95 4s, p99 9s",
+		"10.9.9.0/24", "17 confirmed  listed by honeypot, spamtrap",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("top output missing %q:\n%s", want, got)
+		}
+	}
+	// /16 had no rows: its section must be suppressed entirely.
+	if strings.Contains(got, "/16") {
+		t.Errorf("empty /16 section rendered:\n%s", got)
+	}
+}
+
+func TestCmdTopRequiresMetrics(t *testing.T) {
+	if err := cmdTop(nil); err == nil {
+		t.Fatal("top without -metrics accepted")
+	}
+}
+
+// A daemon started with -analytics-sample 0 has no /debug/topk; the
+// error must steer the operator toward the cause.
+func TestWriteTopNoAnalytics(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	err := writeTop(&strings.Builder{}, &http.Client{Timeout: time.Second}, ts.URL, 10)
+	if err == nil || !strings.Contains(err.Error(), "analytics enabled") {
+		t.Fatalf("want an analytics-disabled hint, got %v", err)
+	}
+}

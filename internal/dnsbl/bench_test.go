@@ -196,3 +196,49 @@ func BenchmarkServeShardedNoCache(b *testing.B) {
 		b.Fatalf("instrumentation lost queries: %+v after %d", st, b.N)
 	}
 }
+
+// BenchmarkServeShardedAnalytics is BenchmarkServeSharded with the
+// analytics tap enabled at its default 1-in-64 sampling: the delta is
+// the full observability cost on the hot path. The acceptance bar is
+// ≤5% over the baseline with allocs/op still 0 (CI gates both).
+func BenchmarkServeShardedAnalytics(b *testing.B) {
+	srv := benchServer(b)
+	srv.EnableAnalytics(AnalyticsConfig{})
+	q := benchQuery(b, "10.42.1.9")
+	cfg := ShardConfig{}.withDefaults(1)
+	sh := srv.newShard(0, nil, cfg)
+	mem := &memBatcher{q: q}
+	sh.io = mem
+	b.ReportAllocs()
+	b.ResetTimer()
+	mem.remaining = int64(b.N)
+	if err := srv.runShard(context.Background(), sh); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if st := srv.Snapshot(); st.Queries != uint64(b.N) {
+		b.Fatalf("instrumentation lost queries: %+v after %d", st, b.N)
+	}
+	reportLatency(b, srv)
+}
+
+// BenchmarkAnalyticsTap measures the tap primitives the shard loop
+// calls: one miss-ring append per not-listed answer plus one full
+// sketch observation (HLL + client top-k + CMS + subnet top-k). Must
+// stay 0 allocs/op — CI gates on it.
+func BenchmarkAnalyticsTap(b *testing.B) {
+	srv := benchServer(b)
+	a := srv.EnableAnalytics(AnalyticsConfig{SampleN: 1})
+	tp := a.newTap()
+	now := uint32(time.Now().UnixMilli())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := netaddr.Addr(uint32(10)<<24 | uint32(i))
+		tp.recordMiss(addr, now)
+		tp.observe(netaddr.MakeAddr(198, 51, 100, byte(i)), addr, i&1 == 0)
+	}
+	if a.Predicted() != 0 {
+		b.Fatal("no sweep ran, yet predictions appeared")
+	}
+}

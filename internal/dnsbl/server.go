@@ -85,6 +85,11 @@ type Server struct {
 	// defaults to the process flight recorder.
 	events *flight.Recorder
 
+	// analytics, when non-nil (EnableAnalytics), taps the serve path
+	// for sampled sketches and feeds the prediction scoreboard. Set
+	// before serving, like the flight recorder.
+	analytics *Analytics
+
 	// handleHook, when set, runs inside each worker just before the
 	// packet is handled — the seam chaos tests use to inject latency and
 	// panics into the request path.
@@ -202,10 +207,19 @@ func (s *Server) SetConcurrency(workers, queue int) {
 // bumps the list generation, which invalidates every shard's verdict
 // cache at once: a cache entry is only trusted when its recorded
 // generation matches the live list's.
+// After the swap, the analytics scoreboard (when enabled) sweeps its
+// recent-miss rings against the new matcher: every address that was
+// queried before this list contained it is counted as a confirmed
+// prediction. The sweep runs here, on the reload path, never on the
+// serve path.
 func (s *Server) SetList(list *blocklist.Trie) {
 	if list != nil {
 		old := s.list.Load()
-		s.list.Store(&compiledList{trie: list, matcher: blocklist.Compile(list), gen: old.gen + 1})
+		nl := &compiledList{trie: list, matcher: blocklist.Compile(list), gen: old.gen + 1}
+		s.list.Store(nl)
+		if a := s.analytics; a != nil {
+			a.sweep(s.events, nl)
+		}
 	}
 }
 
@@ -420,6 +434,9 @@ func (s *Server) serveOne(conn net.PacketConn, pkt packet, arena *flight.Arena) 
 		s.handleHook()
 	}
 	resp := s.handle((*pkt.data)[:pkt.n], s.maxUDP, ev)
+	if a := s.analytics; a != nil && (ev.Verdict == "hit" || ev.Verdict == "miss") {
+		a.observeSlow(ev.Client, ev.Addr, ev.Verdict == "hit", uint32(start.UnixMilli()))
+	}
 	if resp == nil {
 		// Unparseable packets drop silently, as real servers do — that is
 		// clean handling. An encode failure (FlagErr) is not.

@@ -104,8 +104,21 @@ type shard struct {
 	vals      []uint8
 	cacheBits uint32
 
-	arena  flight.Arena
-	evTick uint32
+	arena flight.Arena
+	// tick is the shard's one sampling counter, bumped once per packet:
+	// it drives both the 1-in-shardEventSample flight events and the
+	// 1-in-SampleN analytics tap, so enabling analytics adds no second
+	// counter to the fast path.
+	tick uint32
+
+	// tap is the shard's analytics sink (nil unless the server enabled
+	// analytics before serving); tapMask is the sketch sampling mask
+	// (SampleN-1). nowMS is the batch timestamp the miss ring records,
+	// refreshed once per batch from the clock read runShard already
+	// does.
+	tap     *tap
+	tapMask uint32
+	nowMS   uint32
 
 	// Per-shard obs series (zone + shard labels), rolled up next to the
 	// server totals so a hot or faulty shard is visible in /metrics.
@@ -148,6 +161,10 @@ func (s *Server) newShard(id int, conn net.PacketConn, cfg ShardConfig) *shard {
 		sh.cacheBits = uint32(cfg.CacheBits)
 	}
 	sh.io = newBatcher(conn, sh.msgs)
+	if s.analytics != nil {
+		sh.tap = s.analytics.newTap()
+		sh.tapMask = s.analytics.sampleMask
+	}
 	z := []string{"zone", s.zone, "shard", strconv.Itoa(id)}
 	sh.packets = s.metrics.Counter("unclean_dnsbl_shard_packets_total", "Datagrams received by this shard.", z...)
 	sh.batches = s.metrics.Counter("unclean_dnsbl_shard_batches_total", "Batched reads completed by this shard.", z...)
@@ -310,6 +327,7 @@ func (s *Server) runShard(ctx context.Context, sh *shard) error {
 			continue
 		}
 		start := time.Now()
+		sh.nowMS = uint32(start.UnixMilli())
 		sh.batches.Inc()
 		sh.packets.Add(uint64(n))
 		cl := s.list.Load()
@@ -337,6 +355,7 @@ func (s *Server) serveMsg(sh *shard, m *batchMsg, cl *compiledList) {
 	m.sendShed, m.sendErr = false, false
 
 	pkt := m.in[:m.inN]
+	sh.tick++
 	addr, qlen, _, ok := parseFastQuery(pkt, s.zoneWire)
 	if !ok {
 		// Slow path: full decode, allocation allowed, event always
@@ -349,6 +368,18 @@ func (s *Server) serveMsg(sh *shard, m *batchMsg, cl *compiledList) {
 		ev.Name = s.zone
 		if resp := s.handle(pkt, s.maxUDP, ev); resp != nil {
 			m.outN = copy(m.out, resp)
+		}
+		// The rare shapes still answer real queries; feed them to the
+		// tap at the same sampling rate (same goroutine, so the shard's
+		// own tap is safe — no lock).
+		if sh.tap != nil && (ev.Verdict == "hit" || ev.Verdict == "miss") {
+			if ev.Verdict == "miss" {
+				sh.tap.recordMiss(ev.Addr, sh.nowMS)
+			}
+			if sh.tick&sh.tapMask == 0 {
+				sh.tap.observe(ev.Client, ev.Addr, ev.Verdict == "hit")
+				s.analytics.cSampled.Inc()
+			}
 		}
 		m.ev = ev
 		return
@@ -397,9 +428,22 @@ func (s *Server) serveMsg(sh *shard, m *batchMsg, cl *compiledList) {
 	}
 	m.outN = encodeFastResponse(m.out, pkt, qlen, listed, code, s.ttl, s.maxUDP)
 
+	// Analytics tap: every not-listed answer enters the prediction
+	// ring (two atomic ops); 1 in SampleN packets — the same tick that
+	// samples flight events — update the sketches.
+	if sh.tap != nil {
+		if !listed {
+			sh.tap.recordMiss(addr, sh.nowMS)
+		}
+		if sh.tick&sh.tapMask == 0 {
+			sh.tap.observe(m.client, addr, listed)
+			s.analytics.cSampled.Inc()
+		}
+	}
+
 	// Sampled wide event: 1 in shardEventSample healthy packets. The
 	// event is completed (latency, send flags) in finishBatch.
-	if sh.evTick++; sh.evTick%shardEventSample == 0 {
+	if sh.tick%shardEventSample == 0 {
 		ev := sh.arena.New()
 		ev.Kind = flight.KindQuery
 		ev.Client = m.client

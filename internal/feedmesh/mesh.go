@@ -81,6 +81,12 @@ type Mesh struct {
 	built      bool      // at least one non-degraded merge happened
 	degraded   bool
 	poisonFrac float64
+	// contrib maps each merged block base to the sorted names of the
+	// feeds whose votes put it over the threshold — the attribution
+	// the analytics scoreboard renders next to hit and predicted
+	// blocks. Rebuilt by merge(); frozen (like lastGood) while
+	// degraded.
+	contrib map[netaddr.Addr][]string
 
 	mRounds, mSwaps           *obs.Counter
 	mQuarantines, mReadmits   *obs.Counter
@@ -554,15 +560,43 @@ func (m *Mesh) merge() ipset.Set {
 		})
 	}
 	if total == 0 {
+		m.contrib = nil
 		return ipset.Set{}
 	}
 	b := ipset.NewBuilder(len(votes))
+	contrib := make(map[netaddr.Addr][]string)
 	for a, v := range votes {
 		if v/total >= m.cfg.Threshold {
 			b.Add(a)
+			var names []string
+			for _, f := range m.feeds {
+				if f.weight > weightEpsilon && f.contribBits.Contains(a) {
+					names = append(names, f.src.Name())
+				}
+			}
+			sort.Strings(names)
+			contrib[a] = names
 		}
 	}
+	m.contrib = contrib
 	return b.Build()
+}
+
+// Contributors reports which feeds voted the block containing addr
+// into the current merged list (sorted by name; nil when the address
+// is not listed or no merge has happened). The analytics scoreboard
+// uses it to attribute served hits and confirmed predictions back to
+// the feeds that supplied them.
+func (m *Mesh) Contributors(addr netaddr.Addr) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := m.contrib[addr.Mask(m.cfg.Bits)]
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]string, len(names))
+	copy(out, names)
+	return out
 }
 
 // Run ticks the mesh at the configured interval until ctx is done. The

@@ -401,3 +401,39 @@ func TestOnSwapFiresOnlyOnChange(t *testing.T) {
 		t.Fatalf("OnSwap fired %d times after a list change, want 2", count)
 	}
 }
+
+func TestContributorsAttributesMergedBlocks(t *testing.T) {
+	clk := newClock()
+	shared := ipset.MustParse("60.0.1.1 60.0.2.1")
+	a := &fakeFeed{name: "a", addrs: shared}
+	b := &fakeFeed{name: "b", addrs: shared.Union(ipset.MustParse("60.0.5.1"))}
+	c := &fakeFeed{name: "c", addrs: shared}
+	m, err := New(testConfig(clk), a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any merge: nothing to attribute.
+	if got := m.Contributors(ipset.MustParse("60.0.1.77").At(0)); got != nil {
+		t.Fatalf("Contributors before first merge = %v, want nil", got)
+	}
+
+	tick(t, m, clk)
+
+	// An agreed block names every voting feed, sorted, for any address
+	// inside it — not just the base.
+	got := m.Contributors(ipset.MustParse("60.0.1.200").At(0))
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Contributors(60.0.1.200) = %v, want [a b c]", got)
+	}
+	// b's lone block fell under the threshold: unlisted means nil.
+	if got := m.Contributors(ipset.MustParse("60.0.5.9").At(0)); got != nil {
+		t.Fatalf("Contributors of unlisted block = %v, want nil", got)
+	}
+	// The returned slice is a copy: mutating it must not poison the map.
+	first := m.Contributors(ipset.MustParse("60.0.2.3").At(0))
+	first[0] = "mutated"
+	if again := m.Contributors(ipset.MustParse("60.0.2.3").At(0)); again[0] != "a" {
+		t.Fatalf("Contributors shares internal state: %v", again)
+	}
+}

@@ -8,11 +8,18 @@
 // command exits nonzero if any is more than -tolerance slower than the
 // baseline.
 //
+// With -allocfree the run is gated absolutely, no baseline needed:
+// every benchmark matching the regexp must report allocs/op == 0 (so
+// the input must come from `go test -benchmem`). Hot paths that promise
+// zero allocations stay that way, or CI says which one broke the
+// promise.
+//
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -out BENCH_2026-08-06.json
 //	benchjson -in bench.txt -out bench.json
 //	benchjson -in bench.txt -baseline BENCH_2026-08-06.json -filter 'Lookup|Eval'
+//	benchjson -in bench.txt -allocfree 'ServeSharded|AnalyticsTap'
 package main
 
 import (
@@ -175,7 +182,42 @@ func compare(doc *Doc, path string, tolerance float64, filter *regexp.Regexp) er
 	return nil
 }
 
-func run(inPath, outPath, baseline string, tolerance float64, filterStr string) error {
+// gateAllocFree fails when any benchmark matching re reports a nonzero
+// allocs/op — or reports none at all (a run without -benchmem would
+// otherwise pass the gate vacuously). Matching nothing is an error too:
+// a renamed benchmark must not silently retire its gate.
+func gateAllocFree(doc *Doc, re *regexp.Regexp) error {
+	matched := 0
+	var failed []string
+	for _, r := range doc.Benchmarks {
+		key := r.Name
+		if r.Package != "" {
+			key = r.Package + "." + r.Name
+		}
+		if !re.MatchString(key) {
+			continue
+		}
+		matched++
+		allocs, ok := r.Metrics["allocs/op"]
+		switch {
+		case !ok:
+			failed = append(failed, key+" (no allocs/op; run with -benchmem)")
+		case allocs != 0:
+			failed = append(failed, fmt.Sprintf("%s (%g allocs/op)", key, allocs))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("-allocfree %v matched no benchmarks", re)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d benchmark(s) broke the zero-alloc promise: %s",
+			len(failed), strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "%d benchmark(s) allocation-free (-allocfree %v)\n", matched, re)
+	return nil
+}
+
+func run(inPath, outPath, baseline string, tolerance float64, filterStr, allocFree string) error {
 	in := io.Reader(os.Stdin)
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -208,6 +250,15 @@ func run(inPath, outPath, baseline string, tolerance float64, filterStr string) 
 			return err
 		}
 	}
+	if allocFree != "" {
+		re, err := regexp.Compile(allocFree)
+		if err != nil {
+			return fmt.Errorf("-allocfree: %w", err)
+		}
+		if err := gateAllocFree(doc, re); err != nil {
+			return err
+		}
+	}
 	if baseline != "" {
 		var filter *regexp.Regexp
 		if filterStr != "" {
@@ -227,8 +278,9 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON document to compare against; regressions fail the run")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed ns/op slowdown vs baseline (0.20 = 20%)")
 	filter := flag.String("filter", "", "regexp selecting package.Benchmark names to compare (default: all)")
+	allocFree := flag.String("allocfree", "", "regexp of package.Benchmark names that must report allocs/op == 0")
 	flag.Parse()
-	if err := run(*inPath, *outPath, *baseline, *tolerance, *filter); err != nil {
+	if err := run(*inPath, *outPath, *baseline, *tolerance, *filter, *allocFree); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

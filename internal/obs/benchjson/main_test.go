@@ -134,3 +134,45 @@ func TestCompareNoSharedBenchmarks(t *testing.T) {
 		t.Fatal("disjoint run/baseline should fail loudly, not silently pass")
 	}
 }
+
+func allocDoc(allocs map[string]float64) *Doc {
+	d := &Doc{}
+	for name, v := range allocs {
+		d.Benchmarks = append(d.Benchmarks, Result{
+			Package: "unclean/internal/dnsbl", Name: name,
+			Iterations: 1,
+			Metrics:    map[string]float64{"ns/op": 100, "allocs/op": v},
+		})
+	}
+	return d
+}
+
+func TestAllocFreeGatePasses(t *testing.T) {
+	d := allocDoc(map[string]float64{"BenchmarkAnalyticsTap": 0, "BenchmarkServeSharded": 0})
+	if err := gateAllocFree(d, regexp.MustCompile(`AnalyticsTap|ServeSharded`)); err != nil {
+		t.Fatalf("zero-alloc run should pass: %v", err)
+	}
+}
+
+func TestAllocFreeGateFailsOnAllocation(t *testing.T) {
+	d := allocDoc(map[string]float64{"BenchmarkAnalyticsTap": 2})
+	err := gateAllocFree(d, regexp.MustCompile(`AnalyticsTap`))
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkAnalyticsTap") {
+		t.Fatalf("2 allocs/op should fail naming the benchmark, got %v", err)
+	}
+}
+
+func TestAllocFreeGateFailsWithoutBenchmem(t *testing.T) {
+	d := benchDoc(map[string]float64{"BenchmarkMatcherLookup": 100}) // ns/op only
+	err := gateAllocFree(d, regexp.MustCompile(`Lookup`))
+	if err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("missing allocs/op must fail pointing at -benchmem, got %v", err)
+	}
+}
+
+func TestAllocFreeGateFailsOnNoMatch(t *testing.T) {
+	d := allocDoc(map[string]float64{"BenchmarkAnalyticsTap": 0})
+	if err := gateAllocFree(d, regexp.MustCompile(`Renamed`)); err == nil {
+		t.Fatal("a gate that matches nothing must fail loudly, not pass vacuously")
+	}
+}

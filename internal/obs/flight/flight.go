@@ -43,11 +43,13 @@ const (
 	KindExperiment             // one experiment stage
 	KindServer                 // daemon lifecycle: start, reload, stop, crash
 	KindMesh                   // a feed-mesh merge round or quarantine transition
+	KindAnalytics              // an analytics scoreboard sweep against a list swap
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"query", "feed_load", "checkpoint", "breaker", "experiment", "server", "mesh",
+	"analytics",
 }
 
 func (k Kind) String() string {

@@ -266,3 +266,40 @@ func TestParseKindAndFlagsNames(t *testing.T) {
 		t.Errorf("Flags.Names() = %v", names)
 	}
 }
+
+func TestAnalyticsKindRoundTripsThroughHandler(t *testing.T) {
+	// The analytics scoreboard emits KindAnalytics sweep events; the
+	// /debug/events kind= filter must select exactly them, and the JSON
+	// kind name must parse back to the same Kind value.
+	r := New(128)
+	r.Record(Event{Kind: KindQuery, Verdict: "hit"})
+	r.Record(Event{Kind: KindAnalytics, Verdict: "sweep", Name: "bl.test", Value: 7})
+	r.Record(Event{Kind: KindMesh, Verdict: "round"})
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?kind=analytics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET kind=analytics: %d\n%s", rec.Code, rec.Body.String())
+	}
+	var doc struct {
+		Events []struct {
+			Kind    string `json:"kind"`
+			Verdict string `json:"verdict"`
+			Value   int64  `json:"value"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Events) != 1 {
+		t.Fatalf("kind=analytics selected %d events, want 1", len(doc.Events))
+	}
+	ev := doc.Events[0]
+	if ev.Kind != "analytics" || ev.Verdict != "sweep" || ev.Value != 7 {
+		t.Fatalf("event = %+v, want analytics/sweep/7", ev)
+	}
+	k, ok := ParseKind(ev.Kind)
+	if !ok || k != KindAnalytics {
+		t.Fatalf("ParseKind(%q) = %v, %v; want KindAnalytics", ev.Kind, k, ok)
+	}
+}

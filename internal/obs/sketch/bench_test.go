@@ -1,0 +1,49 @@
+package sketch
+
+import "testing"
+
+// BenchmarkSketchUpdate is the analytics tap's inner loop: one CMS
+// conservative update, one space-saving offer, one HLL fold. CI gates
+// this at 0 allocs/op — the tap runs inside the dnsbl shard loop,
+// whose allocation budget is zero. 1024 rotating keys against a
+// 64-entry top-k keep the eviction path hot, not just the O(1) hit.
+func BenchmarkSketchUpdate(b *testing.B) {
+	cms := NewCMS(4, 12)
+	tk := NewTopK(64)
+	hll := NewHLL(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint32(i) & 1023
+		cms.Inc(k)
+		tk.Inc(k)
+		hll.Add(k)
+	}
+}
+
+func BenchmarkCMSInc(b *testing.B) {
+	cms := NewCMS(4, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cms.Inc(uint32(i) & 4095)
+	}
+}
+
+func BenchmarkTopKInc(b *testing.B) {
+	tk := NewTopK(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Inc(uint32(i) & 1023)
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	hll := NewHLL(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hll.Add(uint32(i))
+	}
+}

@@ -1,0 +1,54 @@
+// Package sketch provides the streaming summaries the serving path's
+// analytics tap is built on: a count-min sketch with conservative
+// update (per-key frequency upper bounds), a space-saving top-k
+// summary (heavy hitters with per-entry error bounds), and a
+// HyperLogLog cardinality estimator. All three share the same
+// constraints, imposed by where they run:
+//
+//   - Allocation-free updates. The tap sits inside the dnsbl shard
+//     loop, whose budget is 0 allocs/op; every sketch pre-sizes its
+//     state at construction and never allocates on Add/Inc.
+//
+//   - Single writer, concurrent readers. Each shard owns its sketches
+//     and is the only goroutine updating them, but /debug/topk and
+//     /metrics scrape them live. Every cell is an atomic word, so a
+//     racing reader sees a slightly stale but never torn value, and
+//     the race detector stays quiet.
+//
+//   - Deterministic seeds. Hashing uses fixed constants (no per-process
+//     randomness), so two shards — or two processes replaying the same
+//     stream — build byte-identical sketches. That is what makes the
+//     merge well-defined and testable.
+//
+//   - Mergeable. Per-shard sketches combine into one global view at
+//     scrape time: count-min merges by cell-wise addition, space-saving
+//     by summing counts with the absent side's minimum folded into the
+//     error bound, HyperLogLog by register-wise maximum. The merged
+//     estimates obey the same error bounds as a single sketch over the
+//     concatenated stream (see the package property tests).
+//
+// Keys are uint32 — IPv4 addresses or block bases in host byte order
+// (internal/netaddr's representation) — which keeps every update a few
+// word-sized atomic operations.
+package sketch
+
+// mix64 is the splitmix64 finalizer: a fast, well-dispersing bijection
+// on 64-bit words. All sketch hashing routes through it with fixed
+// seed constants, so sketches are deterministic across processes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fixed seeds. Each structure perturbs the key with its own constant
+// before mixing, so the three sketches' hash functions are independent
+// even when fed the same key stream.
+const (
+	cmsSeed  = 0x9e3779b97f4a7c15 // golden-ratio increment, one per CMS row
+	topkSeed = 0xc2b2ae3d27d4eb4f
+	hllSeed  = 0x165667b19e3779f9
+)
