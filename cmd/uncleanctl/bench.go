@@ -1,0 +1,200 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"unclean/internal/blocklist"
+	"unclean/internal/experiments"
+	"unclean/internal/ipset"
+	"unclean/internal/netflow"
+	"unclean/internal/simnet"
+	"unclean/internal/stats"
+)
+
+// cmdBench runs the §6 pipeline end-to-end at the requested scale and
+// prints the resource story in `go test -bench` text format, so the
+// benchjson machinery can archive it as a BENCH_*.json artifact and
+// gate regressions (including peak RSS) against a committed baseline.
+//
+// The pipeline is the paper's, not a microbenchmark: build the world,
+// draw the control sample (46.9M addresses at -scale 1) and compress
+// it, serve it back through the mmap-friendly v2 image, then stream
+// the whole unclean window through the compiled C_n(R_bot-test) sweep
+// with a bounded spill budget. Peak RSS comes from the kernel's VmHWM
+// high-water mark, so it covers every phase — including the ones that
+// would blow up without the compressed sets and the spill pipeline.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	scaleDen, seed, _, benign := commonFlags(fs)
+	lo := fs.Int("lo", 24, "shortest blocked prefix length")
+	hi := fs.Int("hi", 32, "longest blocked prefix length")
+	budget := fs.Int("spill-budget", 256<<20,
+		"per-worker in-memory budget (bytes) before flow synthesis spills to disk")
+	dir := fs.String("dir", "", "work directory for spill segments and the mapped control image (default: a temp dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := configFrom(*scaleDen, *seed, 1, *benign)
+	if err != nil {
+		return err
+	}
+	workdir := *dir
+	if workdir == "" {
+		workdir, err = os.MkdirTemp("", "unclean-bench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(workdir)
+	}
+	scaleTag := fmt.Sprintf("scale=%g", *scaleDen)
+
+	// The header lines benchjson uses to label the document.
+	fmt.Printf("goos: %s\ngoarch: %s\npkg: unclean/bench\n", runtime.GOOS, runtime.GOARCH)
+
+	var startStats runtime.MemStats
+	runtime.ReadMemStats(&startStats)
+	startAll := time.Now()
+
+	// Phase 1: the measurement world.
+	fmt.Fprintf(os.Stderr, "bench: building world at scale 1/%g (seed %d)...\n", 1/cfg.Scale, cfg.Seed)
+	start := time.Now()
+	wcfg := simnet.DefaultConfig(cfg.Scale)
+	wcfg.Seed = cfg.Seed
+	world, err := simnet.NewWorld(wcfg)
+	if err != nil {
+		return err
+	}
+	benchLine("BenchmarkPaperWorld/"+scaleTag, time.Since(start),
+		metric{int64(world.Model.NetworkCount()), "networks"})
+
+	// Phase 2: the control report — the set whose raw form is ~188 MB
+	// at paper scale — drawn and compressed. Same size cap and RNG
+	// stream as experiments.Build, so this is the §6 artifact itself.
+	start = time.Now()
+	controlSize := world.ScaledSize(experiments.PaperControlSize)
+	if limit := world.Model.TotalHosts() / 2; controlSize > limit {
+		controlSize = limit
+	}
+	control, err := world.ControlSample(controlSize, stats.NewRNG(cfg.Seed^0xc0417))
+	if err != nil {
+		return err
+	}
+	control = control.Compress()
+	benchLine("BenchmarkPaperControl/"+scaleTag, time.Since(start),
+		metric{int64(control.Len()), "addrs"},
+		metric{int64(control.FootprintBytes()), "set-bytes"},
+		metric{int64(control.Len()) * 4, "raw-bytes"})
+
+	// Phase 3: persist the compressed control as a v2 image and serve
+	// the paper's block-counting queries straight off the mapping.
+	start = time.Now()
+	imgPath := filepath.Join(workdir, "control.v2")
+	if err := control.WriteFileV2(imgPath); err != nil {
+		return err
+	}
+	mapped, err := ipset.OpenMapped(imgPath)
+	if err != nil {
+		return err
+	}
+	blocks := int64(0)
+	for n := 8; n <= 32; n += 4 {
+		blocks += int64(mapped.Set.BlockCount(n))
+	}
+	fi, err := os.Stat(imgPath)
+	if err != nil {
+		mapped.Close()
+		return err
+	}
+	if err := mapped.Close(); err != nil {
+		return err
+	}
+	benchLine("BenchmarkPaperMapped/"+scaleTag, time.Since(start),
+		metric{fi.Size(), "file-bytes"},
+		metric{blocks, "blocks"})
+
+	// Phase 4: the full unclean window through the compiled prefix
+	// sweep, with synthesis bounded by the spill budget.
+	start = time.Now()
+	ms, err := blocklist.SweepSet(world.BotTest(), *lo, *hi)
+	if err != nil {
+		return err
+	}
+	sv := blocklist.NewSweepEvaluator(ms)
+	flows := 0
+	err = world.StreamFlows(experiments.UncleanFrom, experiments.UncleanTo, simnet.FlowOptions{
+		BenignSourcesPerDay: cfg.BenignPerDay,
+		CandidateExtras:     true,
+		SpillBudget:         *budget,
+		SpillDir:            workdir,
+	}, func(_ time.Time, recs []netflow.Record) error {
+		flows += len(recs)
+		sv.Consume(recs)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sweep := time.Since(start)
+	benchLine("BenchmarkPaperSweep/"+scaleTag, sweep,
+		metric{int64(flows), "flows"},
+		metric{int64(float64(flows) / sweep.Seconds()), "flows/sec"})
+
+	// The whole pipeline, with the kernel's verdict on memory.
+	var endStats runtime.MemStats
+	runtime.ReadMemStats(&endStats)
+	extra := []metric{{int64(endStats.Mallocs - startStats.Mallocs), "allocs/op"}}
+	if rss, ok := peakRSSBytes(); ok {
+		extra = append(extra, metric{rss, "peakRSS-bytes"})
+	}
+	benchLine("BenchmarkPaperPipeline/"+scaleTag, time.Since(startAll), extra...)
+	return nil
+}
+
+// metric is one extra value/unit pair on a bench output line.
+type metric struct {
+	value int64
+	unit  string
+}
+
+// benchLine prints one `go test -bench` style result line (iteration
+// count 1: the pipeline runs once) that benchjson's parser accepts.
+func benchLine(name string, elapsed time.Duration, extras ...metric) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s \t1\t%d ns/op", name, elapsed.Nanoseconds())
+	for _, m := range extras {
+		fmt.Fprintf(&b, "\t%d %s", m.value, m.unit)
+	}
+	fmt.Println(b.String())
+}
+
+// peakRSSBytes reads the process peak resident set (VmHWM) from
+// /proc/self/status. ok is false where the proc file does not exist
+// (non-Linux) or cannot be parsed.
+func peakRSSBytes() (int64, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
+}

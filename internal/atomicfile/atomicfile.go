@@ -19,9 +19,11 @@
 package atomicfile
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -153,6 +155,56 @@ func writeFileHook(path string, data []byte, hook Hook) error {
 		return err
 	}
 	return step(StageDirSync)
+}
+
+// WriteStream atomically replaces path with the bytes produced by
+// write, for binary formats that carry their own integrity footer — no
+// text CRC trailer is appended, since a binary payload could collide
+// with the trailer syntax. The durability sequence matches WriteFile:
+// temp file → fsync → rename → fsync(dir).
+func WriteStream(path string, write func(w io.Writer) error) error {
+	start := time.Now()
+	err := writeStream(path, write)
+	if err != nil {
+		mWriteErrors.Inc()
+		return err
+	}
+	mWrites.Inc()
+	mWriteSeconds.Observe(time.Since(start))
+	return nil
+}
+
+func writeStream(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := write(bw); err != nil {
+		return fail(fmt.Errorf("atomicfile: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("atomicfile: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("atomicfile: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return syncDir(dir)
 }
 
 // Trailer renders the CRC32 trailer line for payload.

@@ -93,6 +93,47 @@ func (a *sampleArena) sampleSorted(addrs []uint32, k int, rng *stats.RNG) []uint
 	return buf
 }
 
+// sampleIndicesSorted draws a uniform k-subset of the ranks [0, n) into
+// the arena and returns it sorted ascending. It consumes bit-for-bit
+// the Intn stream sampleSorted consumes for the same (n, k) — the only
+// difference is that it records the chosen rank instead of addrs[rank],
+// which is what the compressed representation needs: ranks are mapped
+// to members afterwards with a container select walk, so a compressed
+// Sample returns exactly what the plain one would under the same seed.
+func (a *sampleArena) sampleIndicesSorted(n, k int, rng *stats.RNG) []uint32 {
+	if k < 0 || k > n {
+		panic("ipset: sample size out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	a.ensure(k, 0)
+	buf := a.buf[:0]
+	if k <= n/16 {
+		t := &a.table
+		t.reset(k)
+		for i := n - k; i < n; i++ {
+			j := rng.Intn(i + 1)
+			if !t.insert(uint32(j)) {
+				j = i
+				t.insert(uint32(j))
+			}
+			buf = append(buf, uint32(j))
+		}
+	} else {
+		t := &a.table
+		t.reset(k)
+		for i := 0; i < k; i++ {
+			j := uint32(i + rng.Intn(n-i))
+			vi, vj := t.get(uint32(i), uint32(i)), t.get(j, j)
+			t.put(j, vi)
+			buf = append(buf, vj)
+		}
+	}
+	sortUint32s(buf, a.tmp)
+	return buf
+}
+
 // idxTable is an epoch-stamped open-addressing hash table over sample
 // indices. reset is O(1) (an epoch bump invalidates all slots), so one
 // table serves thousands of draws without clearing or allocating.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"unclean/internal/netaddr"
 	"unclean/internal/stats"
 )
 
@@ -168,5 +169,103 @@ func BenchmarkContains(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Contains(s.At(i % s.Len()))
+	}
+}
+
+// clusteredSet builds a membership shaped like unclean space: addresses
+// concentrated in a modest number of /16s. This is the shape the
+// compressed representation targets.
+func clusteredSet(rng *stats.RNG, blocks, perBlock int) Set {
+	b := NewBuilder(blocks * perBlock)
+	for k := 0; k < blocks; k++ {
+		base := rng.Uint32() &^ 0xffff
+		for i := 0; i < perBlock; i++ {
+			b.Add(netaddr.Addr(base | rng.Uint32()&0xffff))
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkCompress1M(b *testing.B) {
+	rng := stats.NewRNG(8)
+	s := clusteredSet(rng, 128, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Compress().Len() != s.Len() {
+			b.Fatal("bad compress")
+		}
+	}
+}
+
+// BenchmarkCompressedBlockCounts answers |C_n| for every n in [0,32]
+// from container metadata alone — no decompression.
+func BenchmarkCompressedBlockCounts(b *testing.B) {
+	rng := stats.NewRNG(8)
+	s := clusteredSet(rng, 128, 8192).Compress()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.BlockCounts(0, 32)[32] != s.Len() {
+			b.Fatal("bad counts")
+		}
+	}
+}
+
+func BenchmarkCompressedIntersect(b *testing.B) {
+	rng := stats.NewRNG(8)
+	x := clusteredSet(rng, 128, 8192).Compress()
+	y := clusteredSet(rng, 128, 8192).Union(x.Sample(x.Len()/4, rng)).Compress()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersect(y)
+	}
+}
+
+func BenchmarkCompressedBlockIntersectCount(b *testing.B) {
+	rng := stats.NewRNG(8)
+	x := clusteredSet(rng, 128, 8192).Compress()
+	y := clusteredSet(rng, 128, 8192).Union(x.Sample(x.Len()/4, rng)).Compress()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.BlockIntersectCount(y, 24)
+	}
+}
+
+// BenchmarkBuilderAddSetSorted measures the compact() pattern: re-adding
+// an already-built set plus a few in-order addresses. The sorted fast
+// path turns Build into a dedup-only pass — compare against
+// BenchmarkBuilderAddSetShuffled, which forces the sort.
+func BenchmarkBuilderAddSetSorted(b *testing.B) {
+	rng := stats.NewRNG(9)
+	s := randomSet(rng, 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := NewBuilder(0)
+		bu.AddSet(s)
+		if bu.Build().Len() != s.Len() {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkBuilderAddSetShuffled(b *testing.B) {
+	rng := stats.NewRNG(9)
+	s := randomSet(rng, 1_000_000)
+	// One out-of-order address defeats the sorted fast path, so this
+	// measures the full sort Build used to pay unconditionally.
+	first := uint32(s.At(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := NewBuilder(0)
+		bu.AddSet(s)
+		bu.Add(netaddr.Addr(first))
+		if bu.Build().Len() != s.Len() {
+			b.Fatal("bad build")
+		}
 	}
 }

@@ -7,9 +7,15 @@ import (
 )
 
 // BlockCount returns |C_n(S)|: the number of distinct n-bit CIDR blocks
-// containing members of the set. It runs one linear pass over the sorted
-// addresses.
+// containing members of the set. The plain representation runs one
+// linear pass over the sorted addresses; the compressed one reads the
+// answer off container metadata (keys for n <= 16, per-container masked
+// counts for longer prefixes) without decompressing.
 func (s Set) BlockCount(n int) int {
+	maskFor(n) // validate n
+	if s.comp != nil {
+		return s.comp.blockCount(n)
+	}
 	mask := maskFor(n)
 	if len(s.addrs) == 0 {
 		return 0
@@ -25,14 +31,22 @@ func (s Set) BlockCount(n int) int {
 	return count
 }
 
-// BlockCounts returns |C_n(S)| for every n in [lo, hi] in a single pass: the
-// element at index n-lo is the count at prefix length n. It exploits the
-// identity |C_n(S)| = 1 + #{consecutive pairs with common prefix < n}.
+// BlockCounts returns |C_n(S)| for every n in [lo, hi]: the element at
+// index n-lo is the count at prefix length n. The plain path exploits
+// the identity |C_n(S)| = 1 + #{consecutive pairs with common prefix
+// < n} in a single pass; the compressed path answers each n from
+// container metadata.
 func (s Set) BlockCounts(lo, hi int) []int {
 	if lo < 0 || hi > 32 || lo > hi {
 		panic("ipset: invalid prefix range")
 	}
 	out := make([]int, hi-lo+1)
+	if s.comp != nil {
+		for n := lo; n <= hi; n++ {
+			out[n-lo] = s.comp.blockCount(n)
+		}
+		return out
+	}
 	blockCountsInto(s.addrs, lo, hi, out)
 	return out
 }
@@ -75,14 +89,15 @@ func (s Set) Blocks(n int) []netaddr.Block {
 	var out []netaddr.Block
 	var prev uint32
 	have := false
-	for _, u := range s.addrs {
-		p := u & mask
+	s.Each(func(a netaddr.Addr) bool {
+		p := uint32(a) & mask
 		if !have || p != prev {
 			out = append(out, netaddr.Addr(p).Block(n))
 			prev = p
 			have = true
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -90,25 +105,32 @@ func (s Set) Blocks(n int) []netaddr.Block {
 // addresses (one per distinct block).
 func (s Set) MaskedSet(n int) Set {
 	mask := maskFor(n)
-	out := make([]uint32, 0, min(len(s.addrs), 1024))
+	out := make([]uint32, 0, min(s.Len(), 1024))
 	var prev uint32
 	have := false
-	for _, u := range s.addrs {
-		p := u & mask
+	s.Each(func(a netaddr.Addr) bool {
+		p := uint32(a) & mask
 		if !have || p != prev {
 			out = append(out, p)
 			prev = p
 			have = true
 		}
-	}
+		return true
+	})
 	return Set{addrs: out}
 }
 
 // BlockIntersectCount returns |C_n(S) ∩ C_n(other)|: how many n-bit blocks
 // contain members of both sets. This is the predictive-capacity statistic
-// of the temporal uncleanliness test (Eq. 4).
+// of the temporal uncleanliness test (Eq. 4). When both sets are
+// compressed the count is computed container-wise from masked-presence
+// bitmaps; mixed or plain pairs use the sorted-slice merge.
 func (s Set) BlockIntersectCount(other Set, n int) int {
-	return blockIntersectCount(s.addrs, other.addrs, maskFor(n))
+	maskFor(n) // validate n
+	if s.comp != nil && other.comp != nil {
+		return blockIntersectCountContainers(s.comp, other.comp, n)
+	}
+	return blockIntersectCount(s.raw(), other.raw(), maskFor(n))
 }
 
 // blockIntersectCount is the raw-slice core of BlockIntersectCount; the
@@ -143,6 +165,26 @@ func blockIntersectCount(x, y []uint32, mask uint32) int {
 func (s Set) InBlocks(a netaddr.Addr, n int) bool {
 	mask := maskFor(n)
 	want := uint32(a) & mask
+	if s.comp != nil {
+		lo, hi := want, want|^mask
+		loKey, hiKey := uint16(lo>>16), uint16(hi>>16)
+		// First container whose key could fall in the block's key range.
+		cs := s.comp.cs
+		i := sort.Search(len(cs), func(i int) bool { return cs[i].key >= loKey })
+		for ; i < len(cs) && cs[i].key <= hiKey; i++ {
+			cLo, cHi := uint16(0), uint16(0xffff)
+			if cs[i].key == loKey {
+				cLo = uint16(lo)
+			}
+			if cs[i].key == hiKey {
+				cHi = uint16(hi)
+			}
+			if cs[i].anyInRange(cLo, cHi) {
+				return true
+			}
+		}
+		return false
+	}
 	i := sort.Search(len(s.addrs), func(i int) bool { return s.addrs[i]&mask >= want })
 	return i < len(s.addrs) && s.addrs[i]&mask == want
 }
@@ -152,18 +194,19 @@ func (s Set) InBlocks(a netaddr.Addr, n int) bool {
 // blocking analysis materializes the candidate population.
 func (s Set) WithinBlocks(cover Set, n int) Set {
 	mask := maskFor(n)
+	sa, ca := s.raw(), cover.raw()
 	var out []uint32
 	i, j := 0, 0
-	for i < len(s.addrs) && j < len(cover.addrs) {
-		a, b := s.addrs[i]&mask, cover.addrs[j]&mask
+	for i < len(sa) && j < len(ca) {
+		a, b := sa[i]&mask, ca[j]&mask
 		switch {
 		case a < b:
 			i++
 		case a > b:
 			j++
 		default:
-			for i < len(s.addrs) && s.addrs[i]&mask == a {
-				out = append(out, s.addrs[i])
+			for i < len(sa) && sa[i]&mask == a {
+				out = append(out, sa[i])
 				i++
 			}
 		}
@@ -177,9 +220,10 @@ func (s Set) WithinBlocks(cover Set, n int) Set {
 func (s Set) BlockPopulations(n int) map[netaddr.Block]int {
 	mask := maskFor(n)
 	out := make(map[netaddr.Block]int)
-	for _, u := range s.addrs {
-		out[netaddr.Addr(u&mask).Block(n)]++
-	}
+	s.Each(func(a netaddr.Addr) bool {
+		out[netaddr.Addr(uint32(a)&mask).Block(n)]++
+		return true
+	})
 	return out
 }
 

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"unclean/internal/netaddr"
 )
 
 // Binary set format: sorted sets compress extremely well as
@@ -25,29 +27,47 @@ func (s Set) WriteBinary(w io.Writer) error {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(len(s.addrs)))
+	n := binary.PutUvarint(buf[:], uint64(s.Len()))
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return err
 	}
 	prev := int64(-1)
-	for _, u := range s.addrs {
-		delta := int64(u) - prev
+	var werr error
+	s.Each(func(a netaddr.Addr) bool {
+		delta := int64(uint32(a)) - prev
 		n := binary.PutUvarint(buf[:], uint64(delta))
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
+		if _, werr = bw.Write(buf[:n]); werr != nil {
+			return false
 		}
-		prev = int64(u)
+		prev = int64(uint32(a))
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
 	return bw.Flush()
 }
 
-// ReadBinary parses a set written by WriteBinary, validating the magic,
-// monotonicity, and address-space bounds.
+// ReadBinary parses a set written by WriteBinary or WriteBinaryV2,
+// dispatching on the magic. v1 images are validated element-wise
+// (monotonicity, address-space bounds); v2 images are CRC-checked and
+// structurally validated, and load straight into the compressed
+// representation.
 func ReadBinary(r io.Reader) (Set, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return Set{}, fmt.Errorf("ipset: reading magic: %w", err)
+	}
+	if magic == codecMagicV2 {
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return Set{}, fmt.Errorf("ipset: reading v2 image: %w", err)
+		}
+		data := make([]byte, 0, 8+len(rest))
+		data = append(data, magic[:]...)
+		data = append(data, rest...)
+		return parseV2(data, true)
 	}
 	if magic != codecMagic {
 		return Set{}, fmt.Errorf("ipset: bad magic %q", magic[:])

@@ -1,0 +1,542 @@
+package ipset
+
+import (
+	"bytes"
+	"testing"
+
+	"unclean/internal/netaddr"
+	"unclean/internal/stats"
+)
+
+// Shaped fixtures: each generator produces a membership that lands in a
+// different container mix, so every differential test below exercises
+// array, bitmap, and run containers plus their cross products.
+
+type setShape struct {
+	name string
+	gen  func(rng *stats.RNG) Set
+}
+
+func shapedSets() []setShape {
+	return []setShape{
+		{"empty", func(rng *stats.RNG) Set { return Set{} }},
+		{"single", func(rng *stats.RNG) Set {
+			return FromUint32s([]uint32{rng.Uint32()})
+		}},
+		{"sparse", func(rng *stats.RNG) Set {
+			// Scattered across the whole space: short array containers.
+			return randomSet(rng, 2000)
+		}},
+		{"clustered", func(rng *stats.RNG) Set {
+			// A handful of /16s, each holding a mid-size array.
+			b := NewBuilder(4096)
+			for k := 0; k < 8; k++ {
+				base := rng.Uint32() &^ 0xffff
+				for i := 0; i < 512; i++ {
+					b.Add(netaddr.Addr(base | rng.Uint32()&0xffff))
+				}
+			}
+			return b.Build()
+		}},
+		{"dense", func(rng *stats.RNG) Set {
+			// One /16 with ~20k random members: a bitmap container.
+			b := NewBuilder(20000)
+			base := rng.Uint32() &^ 0xffff
+			for i := 0; i < 20000; i++ {
+				b.Add(netaddr.Addr(base | rng.Uint32()&0xffff))
+			}
+			return b.Build()
+		}},
+		{"runs", func(rng *stats.RNG) Set {
+			// Complete /24s inside a few /16s: run containers.
+			b := NewBuilder(8 * 256)
+			for k := 0; k < 8; k++ {
+				base := rng.Uint32() &^ 0xffff
+				blk := base | uint32(rng.Intn(256))<<8
+				for v := uint32(0); v < 256; v++ {
+					b.Add(netaddr.Addr(blk | v))
+				}
+			}
+			return b.Build()
+		}},
+		{"full16", func(rng *stats.RNG) Set {
+			// An entire /16: the extreme run container [0, 0xffff].
+			base := rng.Uint32() &^ 0xffff
+			b := NewBuilder(1 << 16)
+			for v := uint32(0); v < 1<<16; v++ {
+				b.Add(netaddr.Addr(base | v))
+			}
+			return b.Build()
+		}},
+		{"mixed", func(rng *stats.RNG) Set {
+			// Sparse background plus a dense /16 plus complete /24 runs —
+			// all three kinds in one set.
+			b := NewBuilder(40000)
+			for i := 0; i < 3000; i++ {
+				b.Add(netaddr.Addr(rng.Uint32()))
+			}
+			base := rng.Uint32() &^ 0xffff
+			for i := 0; i < 15000; i++ {
+				b.Add(netaddr.Addr(base | rng.Uint32()&0xffff))
+			}
+			blk := (rng.Uint32() &^ 0xffff) | uint32(rng.Intn(256))<<8
+			for v := uint32(0); v < 256; v++ {
+				b.Add(netaddr.Addr(blk | v))
+			}
+			return b.Build()
+		}},
+		{"edges", func(rng *stats.RNG) Set {
+			// Address-space boundaries: 0.0.0.0, 255.255.255.255, and word
+			// boundaries inside a container.
+			return FromUint32s([]uint32{
+				0, 1, 63, 64, 65, 0xffff, 0x10000,
+				0xffffffff, 0xffff0000, 0x7fffffff, 0x80000000,
+			})
+		}},
+	}
+}
+
+func addrsOf(s Set) []uint32 {
+	out := make([]uint32, 0, s.Len())
+	s.Each(func(a netaddr.Addr) bool {
+		out = append(out, uint32(a))
+		return true
+	})
+	return out
+}
+
+func sameAddrs(t *testing.T, label string, got, want Set) {
+	t.Helper()
+	ga, wa := addrsOf(got), addrsOf(want)
+	if len(ga) != len(wa) {
+		t.Fatalf("%s: got %d addrs, want %d", label, len(ga), len(wa))
+	}
+	for i := range ga {
+		if ga[i] != wa[i] {
+			t.Fatalf("%s: addr %d: got %08x, want %08x", label, i, ga[i], wa[i])
+		}
+	}
+	if !got.Equal(want) || !want.Equal(got) {
+		t.Fatalf("%s: Equal disagrees with element-wise identity", label)
+	}
+}
+
+// TestCompressRoundTrip proves Compress/Decompress are lossless and that
+// the basic accessors agree across representations for every shape.
+func TestCompressRoundTrip(t *testing.T) {
+	for _, shape := range shapedSets() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := stats.NewRNG(7)
+			plain := shape.gen(rng)
+			comp := plain.Compress()
+			if plain.Len() > 0 && !comp.IsCompressed() {
+				t.Fatalf("Compress did not compress")
+			}
+			if comp.Len() != plain.Len() {
+				t.Fatalf("Len: got %d, want %d", comp.Len(), plain.Len())
+			}
+			sameAddrs(t, "roundtrip", comp.Decompress(), plain)
+			sameAddrs(t, "each", comp, plain)
+			for i := 0; i < plain.Len(); i += 1 + plain.Len()/64 {
+				if comp.At(i) != plain.At(i) {
+					t.Fatalf("At(%d): got %v, want %v", i, comp.At(i), plain.At(i))
+				}
+			}
+			if plain.Len() > 0 && comp.String() != plain.String() {
+				t.Fatalf("String: got %q, want %q", comp.String(), plain.String())
+			}
+		})
+	}
+}
+
+// TestCompressedContains checks membership for members, non-members, and
+// near-miss neighbours of members.
+func TestCompressedContains(t *testing.T) {
+	for _, shape := range shapedSets() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := stats.NewRNG(11)
+			plain := shape.gen(rng)
+			comp := plain.Compress()
+			plain.Each(func(a netaddr.Addr) bool {
+				if !comp.Contains(a) {
+					t.Fatalf("member %v missing from compressed set", a)
+				}
+				return true
+			})
+			for i := 0; i < 5000; i++ {
+				a := netaddr.Addr(rng.Uint32())
+				if comp.Contains(a) != plain.Contains(a) {
+					t.Fatalf("Contains(%v) disagrees", a)
+				}
+			}
+			// Neighbours of members probe container edges.
+			plain.Each(func(a netaddr.Addr) bool {
+				for _, d := range []uint32{1, 0xffff} {
+					n := netaddr.Addr(uint32(a) + d)
+					if comp.Contains(n) != plain.Contains(n) {
+						t.Fatalf("Contains(%v) disagrees near member %v", n, a)
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// TestCompressedAlgebraDifferential runs Union/Intersect/Difference over
+// every ordered pair of shapes, in every representation mix, and demands
+// element-wise identity with the plain sorted-merge results.
+func TestCompressedAlgebraDifferential(t *testing.T) {
+	shapes := shapedSets()
+	for _, sa := range shapes {
+		for _, sb := range shapes {
+			t.Run(sa.name+"_"+sb.name, func(t *testing.T) {
+				rng := stats.NewRNG(13)
+				a, b := sa.gen(rng), sb.gen(rng)
+				// Overlap the operands so intersections are non-trivial:
+				// push half of a into b.
+				b = b.Union(a.Sample(a.Len()/2, rng))
+				wantU := a.Union(b)
+				wantI := a.Intersect(b)
+				wantD := a.Difference(b)
+				ca, cb := a.Compress(), b.Compress()
+				mixes := []struct {
+					name string
+					x, y Set
+				}{
+					{"comp-comp", ca, cb},
+					{"comp-plain", ca, b},
+					{"plain-comp", a, cb},
+				}
+				for _, m := range mixes {
+					sameAddrs(t, m.name+" union", m.x.Union(m.y), wantU)
+					sameAddrs(t, m.name+" intersect", m.x.Intersect(m.y), wantI)
+					sameAddrs(t, m.name+" difference", m.x.Difference(m.y), wantD)
+				}
+			})
+		}
+	}
+}
+
+// TestCompressedBlockCountsDifferential checks |C_n| and the count vector
+// across all prefix lengths for every shape.
+func TestCompressedBlockCountsDifferential(t *testing.T) {
+	for _, shape := range shapedSets() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := stats.NewRNG(17)
+			plain := shape.gen(rng)
+			comp := plain.Compress()
+			for n := 0; n <= 32; n++ {
+				if got, want := comp.BlockCount(n), plain.BlockCount(n); got != want {
+					t.Fatalf("BlockCount(%d): got %d, want %d", n, got, want)
+				}
+			}
+			gc, pc := comp.BlockCounts(0, 32), plain.BlockCounts(0, 32)
+			for i := range gc {
+				if gc[i] != pc[i] {
+					t.Fatalf("BlockCounts[%d]: got %d, want %d", i, gc[i], pc[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedBlockIntersectDifferential checks |C_n(A) ∩ C_n(B)| for
+// all prefix lengths across shape pairs and representation mixes.
+func TestCompressedBlockIntersectDifferential(t *testing.T) {
+	shapes := shapedSets()
+	for _, sa := range shapes {
+		for _, sb := range shapes {
+			t.Run(sa.name+"_"+sb.name, func(t *testing.T) {
+				rng := stats.NewRNG(19)
+				a, b := sa.gen(rng), sb.gen(rng)
+				b = b.Union(a.Sample(a.Len()/2, rng))
+				ca, cb := a.Compress(), b.Compress()
+				for n := 0; n <= 32; n++ {
+					want := a.BlockIntersectCount(b, n)
+					if got := ca.BlockIntersectCount(cb, n); got != want {
+						t.Fatalf("comp-comp BlockIntersectCount(%d): got %d, want %d", n, got, want)
+					}
+					if got := ca.BlockIntersectCount(b, n); got != want {
+						t.Fatalf("comp-plain BlockIntersectCount(%d): got %d, want %d", n, got, want)
+					}
+					if got := a.BlockIntersectCount(cb, n); got != want {
+						t.Fatalf("plain-comp BlockIntersectCount(%d): got %d, want %d", n, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompressedInBlocksDifferential checks the inclusion relation for
+// members, misses, and block neighbours across all prefix lengths.
+func TestCompressedInBlocksDifferential(t *testing.T) {
+	for _, shape := range shapedSets() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := stats.NewRNG(23)
+			plain := shape.gen(rng)
+			comp := plain.Compress()
+			probes := make([]netaddr.Addr, 0, 256)
+			plain.Each(func(a netaddr.Addr) bool {
+				probes = append(probes, a, netaddr.Addr(uint32(a)+1), netaddr.Addr(uint32(a)^0x100))
+				return len(probes) < 192
+			})
+			for i := 0; i < 64; i++ {
+				probes = append(probes, netaddr.Addr(rng.Uint32()))
+			}
+			for _, a := range probes {
+				for n := 0; n <= 32; n += 1 {
+					if got, want := comp.InBlocks(a, n), plain.InBlocks(a, n); got != want {
+						t.Fatalf("InBlocks(%v, %d): got %v, want %v", a, n, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedSampleIdentical proves a seeded Sample returns exactly
+// the same subset from both representations — the compressed path samples
+// ranks with the identical generator stream and select-walks them to
+// members.
+func TestCompressedSampleIdentical(t *testing.T) {
+	for _, shape := range shapedSets() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := stats.NewRNG(29)
+			plain := shape.gen(rng)
+			comp := plain.Compress()
+			n := plain.Len()
+			for _, k := range []int{0, 1, n / 100, n / 16, n / 3, n / 2, n - 1, n} {
+				if k < 0 || k > n {
+					continue
+				}
+				// Both draws must consume the same stream: fork one seed.
+				seed := rng.Uint64()
+				sp := plain.Sample(k, stats.NewRNG(seed))
+				sc := comp.Sample(k, stats.NewRNG(seed))
+				sameAddrs(t, "sample", sc, sp)
+			}
+		})
+	}
+}
+
+// TestCompressedSampleBlocksIdentical proves the Monte-Carlo draw kernels
+// return bit-identical distributions when fed a compressed set.
+func TestCompressedSampleBlocksIdentical(t *testing.T) {
+	rng := stats.NewRNG(31)
+	plain := randomSet(rng, 30000)
+	comp := plain.Compress()
+	target := plain.Sample(5000, rng)
+	seed := rng.Uint64()
+
+	wantB := plain.SampleBlocks(50, 2000, 8, 24, stats.NewRNG(seed))
+	gotB := comp.SampleBlocks(50, 2000, 8, 24, stats.NewRNG(seed))
+	for i := range wantB {
+		for j := range wantB[i] {
+			if gotB[i][j] != wantB[i][j] {
+				t.Fatalf("SampleBlocks[%d][%d]: got %v, want %v", i, j, gotB[i][j], wantB[i][j])
+			}
+		}
+	}
+
+	wantI := plain.SampleIntersections(target, 50, 2000, 8, 24, stats.NewRNG(seed))
+	gotI := comp.SampleIntersections(target.Compress(), 50, 2000, 8, 24, stats.NewRNG(seed))
+	for i := range wantI {
+		for j := range wantI[i] {
+			if gotI[i][j] != wantI[i][j] {
+				t.Fatalf("SampleIntersections[%d][%d]: got %v, want %v", i, j, gotI[i][j], wantI[i][j])
+			}
+		}
+	}
+}
+
+// TestCompressedCodecIdentical proves WriteBinary emits byte-identical v1
+// encodings from both representations, and that a decoded set equals the
+// compressed original.
+func TestCompressedCodecIdentical(t *testing.T) {
+	for _, shape := range shapedSets() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := stats.NewRNG(37)
+			plain := shape.gen(rng)
+			comp := plain.Compress()
+			var bp, bc bytes.Buffer
+			if err := plain.WriteBinary(&bp); err != nil {
+				t.Fatal(err)
+			}
+			if err := comp.WriteBinary(&bc); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bp.Bytes(), bc.Bytes()) {
+				t.Fatalf("WriteBinary bytes differ between representations")
+			}
+			back, err := ReadBinary(&bc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameAddrs(t, "decode", back, plain)
+		})
+	}
+}
+
+// TestCompressedMaskedSetAndBlocks checks the block materializers built
+// on Each.
+func TestCompressedMaskedSetAndBlocks(t *testing.T) {
+	for _, shape := range shapedSets() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := stats.NewRNG(41)
+			plain := shape.gen(rng)
+			comp := plain.Compress()
+			for _, n := range []int{0, 8, 12, 16, 20, 24, 30, 32} {
+				sameAddrs(t, "masked", comp.MaskedSet(n), plain.MaskedSet(n))
+				gb, pb := comp.Blocks(n), plain.Blocks(n)
+				if len(gb) != len(pb) {
+					t.Fatalf("Blocks(%d): got %d blocks, want %d", n, len(gb), len(pb))
+				}
+				for i := range gb {
+					if gb[i] != pb[i] {
+						t.Fatalf("Blocks(%d)[%d]: got %v, want %v", n, i, gb[i], pb[i])
+					}
+				}
+				gp, pp := comp.BlockPopulations(n), plain.BlockPopulations(n)
+				if len(gp) != len(pp) {
+					t.Fatalf("BlockPopulations(%d): size mismatch", n)
+				}
+				for k, v := range pp {
+					if gp[k] != v {
+						t.Fatalf("BlockPopulations(%d)[%v]: got %d, want %d", n, k, gp[k], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedWithinBlocks checks the candidate-population materializer
+// across representation mixes.
+func TestCompressedWithinBlocks(t *testing.T) {
+	rng := stats.NewRNG(43)
+	s := randomSet(rng, 20000)
+	cover := s.Sample(500, rng)
+	for _, n := range []int{8, 16, 20, 24} {
+		want := s.WithinBlocks(cover, n)
+		sameAddrs(t, "cc", s.Compress().WithinBlocks(cover.Compress(), n), want)
+		sameAddrs(t, "cp", s.Compress().WithinBlocks(cover, n), want)
+		sameAddrs(t, "pc", s.WithinBlocks(cover.Compress(), n), want)
+	}
+}
+
+// TestContainerKinds pins the canonical kind choices: sparse /16s become
+// arrays, dense ones bitmaps, CIDR-complete ones runs.
+func TestContainerKinds(t *testing.T) {
+	kindOf := func(s Set) uint8 {
+		cs := s.Compress().comp
+		if len(cs.cs) != 1 {
+			t.Fatalf("want one container, got %d", len(cs.cs))
+		}
+		return cs.cs[0].kind
+	}
+	sparse := make([]uint32, 0, 100)
+	for i := uint32(0); i < 100; i++ {
+		sparse = append(sparse, 0x0a000000|i*571)
+	}
+	if k := kindOf(FromUint32s(sparse)); k != arrKind {
+		t.Fatalf("sparse: kind %d, want array", k)
+	}
+	rng := stats.NewRNG(47)
+	dense := make([]uint32, 0, 3*arrMaxCard)
+	for i := 0; i < 3*arrMaxCard; i++ {
+		dense = append(dense, 0x0a000000|rng.Uint32()&0xffff)
+	}
+	if k := kindOf(FromUint32s(dense)); k != bmpKind {
+		t.Fatalf("dense: kind %d, want bitmap", k)
+	}
+	run := make([]uint32, 0, 1<<16)
+	for i := uint32(0); i < 1<<16; i++ {
+		run = append(run, 0x0a000000|i)
+	}
+	full := FromUint32s(run)
+	if k := kindOf(full); k != runKind {
+		t.Fatalf("full /16: kind %d, want run", k)
+	}
+	// The whole /16 as one run costs 4 bytes of payload vs 256 KiB raw.
+	if fp, raw := full.Compress().FootprintBytes(), full.FootprintBytes(); fp*100 > raw {
+		t.Fatalf("full /16 footprint %d not ≪ raw %d", fp, raw)
+	}
+}
+
+// TestCompressFootprint checks the representation actually shrinks a
+// clustered membership (the reason it exists) and reports honestly for
+// adversarially sparse ones.
+func TestCompressFootprint(t *testing.T) {
+	rng := stats.NewRNG(53)
+	// Clustered like unclean space: 64 /16s holding ~8k addrs each.
+	b := NewBuilder(64 * 8192)
+	for k := 0; k < 64; k++ {
+		base := rng.Uint32() &^ 0xffff
+		for i := 0; i < 8192; i++ {
+			b.Add(netaddr.Addr(base | rng.Uint32()&0xffff))
+		}
+	}
+	s := b.Build()
+	raw, comp := s.FootprintBytes(), s.Compress().FootprintBytes()
+	if comp >= raw {
+		t.Fatalf("clustered footprint did not shrink: %d >= %d", comp, raw)
+	}
+}
+
+// TestEqualMixedRepresentations exercises Equal across every pairing of
+// representations, including near-miss memberships.
+func TestEqualMixedRepresentations(t *testing.T) {
+	rng := stats.NewRNG(59)
+	s := randomSet(rng, 10000)
+	c := s.Compress()
+	if !s.Equal(c) || !c.Equal(s) || !c.Equal(c) {
+		t.Fatal("identical memberships compare unequal")
+	}
+	// Flip one member.
+	mod := s.Difference(FromAddrs([]netaddr.Addr{s.At(s.Len() / 2)}))
+	mod = mod.Union(FromUint32s([]uint32{uint32(s.At(s.Len()/2)) ^ 1}))
+	md := mod.Decompress()
+	if s.Equal(md) || c.Equal(md) || md.Equal(c) || c.Equal(mod) {
+		t.Fatal("different memberships compare equal")
+	}
+}
+
+// TestBuilderSortedFastPath checks Build returns identical sets with and
+// without the sorted fast path, including the AddSet append pattern the
+// evaluator's compact() uses.
+func TestBuilderSortedFastPath(t *testing.T) {
+	rng := stats.NewRNG(61)
+	base := randomSet(rng, 5000)
+	// Sorted input: AddSet then in-order Adds.
+	b := NewBuilder(0)
+	b.Grow(base.Len() + 10)
+	b.AddSet(base)
+	if !b.sorted {
+		t.Fatal("AddSet of a sorted set should keep the builder sorted")
+	}
+	last := uint32(base.At(base.Len() - 1))
+	for i := uint32(1); i <= 10; i++ {
+		b.Add(netaddr.Addr(last + i))
+	}
+	if !b.sorted {
+		t.Fatal("in-order Adds should keep the builder sorted")
+	}
+	got := b.Build()
+	// Reference: same membership built out of order.
+	b2 := NewBuilder(0)
+	for i := uint32(10); i >= 1; i-- {
+		b2.Add(netaddr.Addr(last + i))
+	}
+	b2.AddSet(base)
+	if b2.sorted {
+		t.Fatal("out-of-order input should clear the sorted flag")
+	}
+	sameAddrs(t, "fastpath", got, b2.Build())
+
+	// AddSet of a compressed set takes the appendAddrs path.
+	b3 := NewBuilder(0)
+	b3.AddSet(base.Compress())
+	sameAddrs(t, "addset-compressed", b3.Build(), base)
+}

@@ -13,7 +13,7 @@ import (
 // avoid rejection stalls. Both branches run on pooled scratch arenas, so
 // the only allocation is the returned Set's own storage.
 func (s Set) Sample(k int, rng *stats.RNG) Set {
-	n := len(s.addrs)
+	n := s.Len()
 	if k < 0 || k > n {
 		panic("ipset: sample size out of range")
 	}
@@ -24,9 +24,18 @@ func (s Set) Sample(k int, rng *stats.RNG) Set {
 		return s // immutable, safe to share
 	}
 	a := getArena()
-	sub := a.sampleSorted(s.addrs, k, rng)
 	out := make([]uint32, k)
-	copy(out, sub)
+	if s.comp != nil {
+		// Sample ranks with the identical generator stream, then map
+		// them to members with one container select walk — the draw is
+		// container-wise, never a decompression, and seeded results
+		// match the plain representation exactly.
+		idxs := a.sampleIndicesSorted(n, k, rng)
+		s.comp.selectInto(idxs, out)
+	} else {
+		sub := a.sampleSorted(s.addrs, k, rng)
+		copy(out, sub)
+	}
 	putArena(a)
 	return Set{addrs: out}
 }
@@ -51,10 +60,11 @@ func (s Set) SampleBlocks(k, size, loBits, hiBits int, rng *stats.RNG) [][]float
 	for i := range out {
 		out[i] = make([]float64, k)
 	}
+	addrs := s.raw() // one materialization shared by every draw
 	arenas := newArenas(stats.Workers(k), size, prefixes)
 	stats.ForEachDraw(k, rng, func(worker, draw int, drawRNG *stats.RNG) {
 		a := arenas[worker]
-		sub := a.sampleSorted(s.addrs, size, drawRNG)
+		sub := a.sampleSorted(addrs, size, drawRNG)
 		counts := a.counts[:prefixes]
 		blockCountsInto(sub, loBits, hiBits, counts)
 		for i, c := range counts {
@@ -80,12 +90,13 @@ func (s Set) SampleIntersections(target Set, k, size, loBits, hiBits int, rng *s
 	for i := range out {
 		out[i] = make([]float64, k)
 	}
+	addrs, targetAddrs := s.raw(), target.raw()
 	arenas := newArenas(stats.Workers(k), size, prefixes)
 	stats.ForEachDraw(k, rng, func(worker, draw int, drawRNG *stats.RNG) {
 		a := arenas[worker]
-		sub := a.sampleSorted(s.addrs, size, drawRNG)
+		sub := a.sampleSorted(addrs, size, drawRNG)
 		for n := loBits; n <= hiBits; n++ {
-			out[n-loBits][draw] = float64(blockIntersectCount(sub, target.addrs, maskFor(n)))
+			out[n-loBits][draw] = float64(blockIntersectCount(sub, targetAddrs, maskFor(n)))
 		}
 	})
 	releaseArenas(arenas)

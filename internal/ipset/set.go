@@ -1,12 +1,16 @@
 // Package ipset implements immutable, sorted sets of IPv4 addresses and the
 // per-prefix CIDR block arithmetic the uncleanliness analyses are built on.
 //
-// A Set stores addresses as a sorted, deduplicated []uint32. Every analysis
-// in the paper reduces to a handful of primitives on these sets: cardinality
-// (|S|), the CIDR masking function C_n(S), block counting |C_n(S)|, block
-// intersection |C_n(A) ∩ C_n(B)|, the inclusion relation i ⊏ S, and random
-// sampling for control subsets. All of these run in linear or
-// n-log-n time over the sorted representation.
+// A Set stores addresses in one of two representations: a sorted,
+// deduplicated []uint32 (the default), or roaring-style compressed
+// containers keyed by the high 16 bits (see container.go) for the
+// paper-scale report sets, where 47M raw uint32s would cost ~188 MB.
+// Every analysis in the paper reduces to a handful of primitives on
+// these sets: cardinality (|S|), the CIDR masking function C_n(S),
+// block counting |C_n(S)|, block intersection |C_n(A) ∩ C_n(B)|, the
+// inclusion relation i ⊏ S, and random sampling for control subsets.
+// Both representations answer all of them with identical results; the
+// compressed one never decompresses wholesale to do so.
 package ipset
 
 import (
@@ -21,7 +25,8 @@ import (
 // Set is an immutable sorted set of IPv4 addresses. The zero value is the
 // empty set and is ready to use.
 type Set struct {
-	addrs []uint32 // sorted ascending, no duplicates
+	addrs []uint32    // sorted ascending, no duplicates; nil when compressed
+	comp  *containers // compressed representation; nil when plain
 }
 
 // FromAddrs builds a Set from addresses in any order, deduplicating.
@@ -91,17 +96,81 @@ func MustParse(s string) Set {
 	return set
 }
 
+// Compress returns the set in the compressed container representation.
+// Membership and every operation's results are unchanged; only the
+// storage shape differs. Compressing an already-compressed set is free.
+func (s Set) Compress() Set {
+	if s.comp != nil {
+		return s
+	}
+	if len(s.addrs) == 0 {
+		return Set{}
+	}
+	return Set{comp: compressSorted(s.addrs)}
+}
+
+// Decompress returns the set in the plain sorted-slice representation.
+func (s Set) Decompress() Set {
+	if s.comp == nil {
+		return s
+	}
+	return Set{addrs: s.comp.appendAddrs(make([]uint32, 0, s.comp.n))}
+}
+
+// IsCompressed reports whether the set uses the container representation.
+func (s Set) IsCompressed() bool { return s.comp != nil }
+
+// raw returns the membership as a sorted slice: the set's own storage
+// when plain, a fresh materialization when compressed. Callers must not
+// mutate the result.
+func (s Set) raw() []uint32 {
+	if s.comp == nil {
+		return s.addrs
+	}
+	return s.comp.appendAddrs(make([]uint32, 0, s.comp.n))
+}
+
+// FootprintBytes approximates the heap bytes held by the set's own
+// storage — the number the compressed representation exists to shrink.
+func (s Set) FootprintBytes() int {
+	if s.comp != nil {
+		return s.comp.memBytes()
+	}
+	return 4 * len(s.addrs)
+}
+
 // Len returns |S|, the number of addresses in the set.
-func (s Set) Len() int { return len(s.addrs) }
+func (s Set) Len() int {
+	if s.comp != nil {
+		return s.comp.n
+	}
+	return len(s.addrs)
+}
 
 // IsEmpty reports whether the set has no addresses.
-func (s Set) IsEmpty() bool { return len(s.addrs) == 0 }
+func (s Set) IsEmpty() bool { return s.Len() == 0 }
 
-// At returns the i-th smallest address.
-func (s Set) At(i int) netaddr.Addr { return netaddr.Addr(s.addrs[i]) }
+// At returns the i-th smallest address. On a compressed set this walks
+// the container directory (O(containers)); iterate with Each instead of
+// an indexed loop.
+func (s Set) At(i int) netaddr.Addr {
+	if s.comp != nil {
+		idx := [1]uint32{uint32(i)}
+		var out [1]uint32
+		s.comp.selectInto(idx[:], out[:])
+		return netaddr.Addr(out[0])
+	}
+	return netaddr.Addr(s.addrs[i])
+}
 
 // Contains reports whether a is a member of the set.
 func (s Set) Contains(a netaddr.Addr) bool {
+	if s.comp != nil {
+		if i := s.comp.find(uint16(uint32(a) >> 16)); i >= 0 {
+			return s.comp.cs[i].contains(uint16(uint32(a)))
+		}
+		return false
+	}
 	_, found := slices.BinarySearch(s.addrs, uint32(a))
 	return found
 }
@@ -109,6 +178,14 @@ func (s Set) Contains(a netaddr.Addr) bool {
 // Each calls fn for every address in ascending order; it stops early if fn
 // returns false.
 func (s Set) Each(fn func(netaddr.Addr) bool) {
+	if s.comp != nil {
+		for i := range s.comp.cs {
+			if !s.comp.cs[i].each(fn) {
+				return
+			}
+		}
+		return
+	}
 	for _, u := range s.addrs {
 		if !fn(netaddr.Addr(u)) {
 			return
@@ -118,15 +195,25 @@ func (s Set) Each(fn func(netaddr.Addr) bool) {
 
 // Addrs returns a copy of the membership as a slice of addresses.
 func (s Set) Addrs() []netaddr.Addr {
-	out := make([]netaddr.Addr, len(s.addrs))
-	for i, u := range s.addrs {
-		out[i] = netaddr.Addr(u)
-	}
+	out := make([]netaddr.Addr, 0, s.Len())
+	s.Each(func(a netaddr.Addr) bool {
+		out = append(out, a)
+		return true
+	})
 	return out
 }
 
-// Equal reports whether two sets have identical membership.
+// Equal reports whether two sets have identical membership, whatever
+// representations they use.
 func (s Set) Equal(other Set) bool {
+	switch {
+	case s.comp != nil && other.comp != nil:
+		return equalContainers(s.comp, other.comp)
+	case s.comp != nil:
+		return s.comp.equalSlice(other.addrs)
+	case other.comp != nil:
+		return other.comp.equalSlice(s.addrs)
+	}
 	if len(s.addrs) != len(other.addrs) {
 		return false
 	}
@@ -140,20 +227,25 @@ func (s Set) Equal(other Set) bool {
 
 // String renders small sets fully and large sets as a cardinality summary.
 func (s Set) String() string {
-	if len(s.addrs) <= 8 {
-		parts := make([]string, len(s.addrs))
-		for i, u := range s.addrs {
-			parts[i] = netaddr.Addr(u).String()
-		}
+	n := s.Len()
+	if n <= 8 {
+		parts := make([]string, 0, n)
+		s.Each(func(a netaddr.Addr) bool {
+			parts = append(parts, a.String())
+			return true
+		})
 		return "{" + strings.Join(parts, ", ") + "}"
 	}
-	return fmt.Sprintf("{|S|=%d, %s..%s}", len(s.addrs),
-		netaddr.Addr(s.addrs[0]), netaddr.Addr(s.addrs[len(s.addrs)-1]))
+	return fmt.Sprintf("{|S|=%d, %s..%s}", n, s.At(0), s.At(n-1))
 }
 
 // Builder accumulates addresses for a Set.
 type Builder struct {
 	addrs []uint32
+	// sorted tracks whether addrs is ascending (duplicates allowed), so
+	// Build can skip the sort for already-ordered input — the common case
+	// when whole sets are appended with AddSet.
+	sorted bool
 }
 
 // NewBuilder returns a Builder with capacity for sizeHint addresses.
@@ -161,28 +253,83 @@ func NewBuilder(sizeHint int) *Builder {
 	if sizeHint < 0 {
 		sizeHint = 0
 	}
-	return &Builder{addrs: make([]uint32, 0, sizeHint)}
+	return &Builder{addrs: make([]uint32, 0, sizeHint), sorted: true}
+}
+
+// Grow reserves capacity for at least n more addresses, so a sequence
+// of Add/AddSet calls of known total size performs one allocation.
+func (b *Builder) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(b.addrs) + n; need > cap(b.addrs) {
+		grown := make([]uint32, len(b.addrs), need)
+		copy(grown, b.addrs)
+		b.addrs = grown
+	}
 }
 
 // Add inserts an address; duplicates are removed at Build time.
-func (b *Builder) Add(a netaddr.Addr) { b.addrs = append(b.addrs, uint32(a)) }
+func (b *Builder) Add(a netaddr.Addr) {
+	if b.sorted && len(b.addrs) > 0 && uint32(a) < b.addrs[len(b.addrs)-1] {
+		b.sorted = false
+	}
+	b.addrs = append(b.addrs, uint32(a))
+}
 
-// AddSet inserts every address of another set.
-func (b *Builder) AddSet(s Set) { b.addrs = append(b.addrs, s.addrs...) }
+// AddSet inserts every address of another set, growing capacity once.
+// Appending sets in ascending order (or into an empty builder) keeps
+// the builder sorted, so Build skips its sort pass entirely.
+func (b *Builder) AddSet(s Set) {
+	n := s.Len()
+	if n == 0 {
+		return
+	}
+	b.Grow(n)
+	if b.sorted && len(b.addrs) > 0 && uint32(s.At(0)) < b.addrs[len(b.addrs)-1] {
+		b.sorted = false
+	}
+	if s.comp != nil {
+		b.addrs = s.comp.appendAddrs(b.addrs)
+		return
+	}
+	b.addrs = append(b.addrs, s.addrs...)
+}
 
 // Len returns the number of addresses added so far (including duplicates).
 func (b *Builder) Len() int { return len(b.addrs) }
 
-// Build sorts, deduplicates and returns the Set. The Builder is reset and
-// may be reused.
+// Build sorts (unless the input arrived sorted), deduplicates and
+// returns the Set. The Builder is reset and may be reused.
 func (b *Builder) Build() Set {
-	s := buildSorted(b.addrs)
+	var s Set
+	if b.sorted {
+		s = Set{addrs: dedupSorted(b.addrs)}
+	} else {
+		s = buildSorted(b.addrs)
+	}
 	b.addrs = nil
+	b.sorted = true
 	return s
 }
 
-// Union returns s ∪ other.
+// Union returns s ∪ other. If either side is compressed the result is
+// compressed and computed container-wise.
 func (s Set) Union(other Set) Set {
+	if s.comp != nil || other.comp != nil {
+		a, b := s.Compress(), other.Compress()
+		if a.comp == nil {
+			return b
+		}
+		if b.comp == nil {
+			return a
+		}
+		u := unionContainers(a.comp, b.comp)
+		if u.n == 0 {
+			return Set{}
+		}
+		return Set{comp: u}
+	}
 	out := make([]uint32, 0, len(s.addrs)+len(other.addrs))
 	i, j := 0, 0
 	for i < len(s.addrs) && j < len(other.addrs) {
@@ -204,8 +351,20 @@ func (s Set) Union(other Set) Set {
 	return Set{addrs: out}
 }
 
-// Intersect returns s ∩ other.
+// Intersect returns s ∩ other. If either side is compressed the result
+// is compressed and computed container-wise.
 func (s Set) Intersect(other Set) Set {
+	if s.comp != nil || other.comp != nil {
+		a, b := s.Compress(), other.Compress()
+		if a.comp == nil || b.comp == nil {
+			return Set{}
+		}
+		x := intersectContainers(a.comp, b.comp)
+		if x.n == 0 {
+			return Set{}
+		}
+		return Set{comp: x}
+	}
 	small, large := s.addrs, other.addrs
 	var out []uint32
 	i, j := 0, 0
@@ -224,8 +383,23 @@ func (s Set) Intersect(other Set) Set {
 	return Set{addrs: out}
 }
 
-// Difference returns s \ other.
+// Difference returns s \ other. If either side is compressed the result
+// is compressed and computed container-wise.
 func (s Set) Difference(other Set) Set {
+	if s.comp != nil || other.comp != nil {
+		a, b := s.Compress(), other.Compress()
+		if a.comp == nil {
+			return Set{}
+		}
+		if b.comp == nil {
+			return a
+		}
+		d := differenceContainers(a.comp, b.comp)
+		if d.n == 0 {
+			return Set{}
+		}
+		return Set{comp: d}
+	}
 	var out []uint32
 	i, j := 0, 0
 	for i < len(s.addrs) {
@@ -243,13 +417,15 @@ func (s Set) Difference(other Set) Set {
 }
 
 // Filter returns the subset of addresses for which keep returns true.
+// The result is plain regardless of the input representation.
 func (s Set) Filter(keep func(netaddr.Addr) bool) Set {
 	var out []uint32
-	for _, u := range s.addrs {
-		if keep(netaddr.Addr(u)) {
-			out = append(out, u)
+	s.Each(func(a netaddr.Addr) bool {
+		if keep(a) {
+			out = append(out, uint32(a))
 		}
-	}
+		return true
+	})
 	return Set{addrs: out}
 }
 

@@ -112,13 +112,14 @@ func parse(in io.Reader) (*Doc, error) {
 	return doc, nil
 }
 
-// bestNs reduces a document to its fastest ns/op per benchmark, keyed
-// "package.Name". With -count N each benchmark appears N times; the
-// minimum is the least noisy summary of what the code can do.
-func bestNs(doc *Doc, filter *regexp.Regexp) map[string]float64 {
+// bestMetric reduces a document to its lowest value of one metric per
+// benchmark, keyed "package.Name". With -count N each benchmark appears
+// N times; the minimum is the least noisy summary of what the code can
+// do (for ns/op) or what it needs (for peakRSS-bytes).
+func bestMetric(doc *Doc, unit string, filter *regexp.Regexp) map[string]float64 {
 	best := make(map[string]float64)
 	for _, r := range doc.Benchmarks {
-		ns, ok := r.Metrics["ns/op"]
+		v, ok := r.Metrics[unit]
 		if !ok {
 			continue
 		}
@@ -129,17 +130,25 @@ func bestNs(doc *Doc, filter *regexp.Regexp) map[string]float64 {
 		if filter != nil && !filter.MatchString(key) {
 			continue
 		}
-		if cur, seen := best[key]; !seen || ns < cur {
-			best[key] = ns
+		if cur, seen := best[key]; !seen || v < cur {
+			best[key] = v
 		}
 	}
 	return best
 }
 
+// bestNs is the ns/op view of bestMetric.
+func bestNs(doc *Doc, filter *regexp.Regexp) map[string]float64 {
+	return bestMetric(doc, "ns/op", filter)
+}
+
 // compare gates doc against the baseline document at path: any shared
-// benchmark whose best ns/op regressed by more than tolerance fails the
-// run. Benchmarks present on only one side are skipped (new benchmarks
-// must not break CI; retired ones must not pin the baseline forever).
+// benchmark whose best ns/op — or, when both sides report it, best
+// peakRSS-bytes — regressed by more than tolerance fails the run.
+// Benchmarks present on only one side are skipped (new benchmarks must
+// not break CI; retired ones must not pin the baseline forever), and
+// the peakRSS gate engages only for benchmarks that measure it, so
+// ordinary microbenchmark runs are unaffected.
 func compare(doc *Doc, path string, tolerance float64, filter *regexp.Regexp) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -150,35 +159,41 @@ func compare(doc *Doc, path string, tolerance float64, filter *regexp.Regexp) er
 	if err := json.NewDecoder(f).Decode(&base); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	baseNs := bestNs(&base, filter)
-	curNs := bestNs(doc, filter)
-	keys := make([]string, 0, len(baseNs))
-	for k := range baseNs {
-		if _, ok := curNs[k]; ok {
-			keys = append(keys, k)
-		}
-	}
-	if len(keys) == 0 {
-		return fmt.Errorf("no benchmarks shared between run and baseline %s (filter %v)", path, filter)
-	}
-	sort.Strings(keys)
 	var failed []string
-	for _, k := range keys {
-		delta := curNs[k]/baseNs[k] - 1
-		verdict := "ok"
-		if delta > tolerance {
-			verdict = "REGRESSION"
-			failed = append(failed, k)
+	shared := 0
+	for _, unit := range []string{"ns/op", "peakRSS-bytes"} {
+		baseV := bestMetric(&base, unit, filter)
+		curV := bestMetric(doc, unit, filter)
+		keys := make([]string, 0, len(baseV))
+		for k := range baseV {
+			if _, ok := curV[k]; ok {
+				keys = append(keys, k)
+			}
 		}
-		fmt.Fprintf(os.Stderr, "%-60s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
-			k, baseNs[k], curNs[k], delta*100, verdict)
+		if unit == "ns/op" {
+			if len(keys) == 0 {
+				return fmt.Errorf("no benchmarks shared between run and baseline %s (filter %v)", path, filter)
+			}
+			shared = len(keys)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			delta := curV[k]/baseV[k] - 1
+			verdict := "ok"
+			if delta > tolerance {
+				verdict = "REGRESSION"
+				failed = append(failed, fmt.Sprintf("%s (%s)", k, unit))
+			}
+			fmt.Fprintf(os.Stderr, "%-60s %14.1f -> %14.1f %-13s %+6.1f%%  %s\n",
+				k, baseV[k], curV[k], unit, delta*100, verdict)
+		}
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s: %s",
+		return fmt.Errorf("%d benchmark metric(s) regressed more than %.0f%% vs %s: %s",
 			len(failed), tolerance*100, path, strings.Join(failed, ", "))
 	}
 	fmt.Fprintf(os.Stderr, "%d benchmark(s) within %.0f%% of baseline %s\n",
-		len(keys), tolerance*100, path)
+		shared, tolerance*100, path)
 	return nil
 }
 

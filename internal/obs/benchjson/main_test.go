@@ -135,6 +135,40 @@ func TestCompareNoSharedBenchmarks(t *testing.T) {
 	}
 }
 
+func rssDoc(ns, rss float64) *Doc {
+	return &Doc{Benchmarks: []Result{{
+		Package: "unclean/bench", Name: "BenchmarkPaperPipeline/scale=8",
+		Iterations: 1,
+		Metrics:    map[string]float64{"ns/op": ns, "peakRSS-bytes": rss},
+	}}}
+}
+
+func TestComparePeakRSSWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, rssDoc(100, 1<<30))
+	if err := compare(rssDoc(100, 1.1*(1<<30)), base, 0.20, nil); err != nil {
+		t.Fatalf("10%% RSS growth under 20%% tolerance should pass: %v", err)
+	}
+}
+
+func TestComparePeakRSSRegressionFails(t *testing.T) {
+	base := writeBaseline(t, rssDoc(100, 1<<30))
+	err := compare(rssDoc(100, 2<<30), base, 0.20, nil)
+	if err == nil || !strings.Contains(err.Error(), "peakRSS-bytes") {
+		t.Fatalf("doubled peak RSS should fail naming the metric, got %v", err)
+	}
+}
+
+func TestComparePeakRSSOptional(t *testing.T) {
+	// A baseline without peakRSS-bytes must not block a run that has it
+	// (and vice versa): the RSS gate engages only where both sides measure.
+	base := writeBaseline(t, benchDoc(map[string]float64{"BenchmarkPaperPipeline/scale=8": 100}))
+	cur := rssDoc(105, 4<<30)
+	cur.Benchmarks[0].Package = "unclean/internal/blocklist"
+	if err := compare(cur, base, 0.20, nil); err != nil {
+		t.Fatalf("RSS on one side only should not gate: %v", err)
+	}
+}
+
 func allocDoc(allocs map[string]float64) *Doc {
 	d := &Doc{}
 	for name, v := range allocs {

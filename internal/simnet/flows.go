@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"slices"
 	"time"
 
@@ -21,6 +20,16 @@ type FlowOptions struct {
 	// (ephemeral-to-ephemeral, slow probing — the unknown population) and
 	// the occasional legitimate client (the innocent population).
 	CandidateExtras bool
+	// SpillBudget caps the approximate bytes of in-memory records one
+	// day's synthesis holds before spilling a sorted run to a temp
+	// segment file (see spill.go). Zero keeps whole days in memory.
+	// StreamFlows honors the budget; SynthesizeFlows, which returns the
+	// complete log anyway, ignores it. Peak synthesis memory is roughly
+	// workers × SpillBudget.
+	SpillBudget int
+	// SpillDir is where spill segments are created; empty means the
+	// system temp directory. Segments are removed as they are consumed.
+	SpillDir string
 }
 
 // DefaultFlowOptions returns the options used by the experiment harness.
@@ -45,7 +54,7 @@ func (w *World) SynthesizeFlows(from, to time.Time, opts FlowOptions) []netflow.
 	}
 	perDay := make([][]netflow.Record, hi-lo+1)
 	stats.Parallel(hi-lo+1, func(_, i int) {
-		day := w.synthesizeDay(lo+i, opts, nil)
+		day := w.synthesizeDay(lo+i, opts, nil, nil)
 		sortByTime(day)
 		perDay[i] = day
 	})
@@ -92,57 +101,29 @@ func mergeByTime(perDay [][]netflow.Record) []netflow.Record {
 		}
 		return out
 	}
-	h := &recordHeap{days: perDay, pos: make([]int, len(perDay))}
+	curs := make([]*runCursor, len(perDay))
 	for i := range perDay {
-		if len(perDay[i]) > 0 {
-			h.order = append(h.order, i)
-		}
+		curs[i] = newMemCursor(perDay[i])
 	}
-	heap.Init(h)
-	for len(h.order) > 0 {
-		i := h.order[0]
-		out = append(out, h.days[i][h.pos[i]])
-		h.pos[i]++
-		if h.pos[i] == len(h.days[i]) {
-			heap.Pop(h)
-		} else {
-			heap.Fix(h, 0)
-		}
-	}
+	// In-memory cursors never error.
+	mergeCursors(curs, func(r *netflow.Record) error {
+		out = append(out, *r)
+		return nil
+	})
 	return out
 }
 
-// recordHeap is a min-heap of day indices ordered by each day's next
-// unconsumed record (ties by day index, preserving stability).
-type recordHeap struct {
-	days  [][]netflow.Record
-	pos   []int
-	order []int
-}
-
-func (h *recordHeap) Len() int { return len(h.order) }
-func (h *recordHeap) Less(a, b int) bool {
-	i, j := h.order[a], h.order[b]
-	ri, rj := &h.days[i][h.pos[i]], &h.days[j][h.pos[j]]
-	if !ri.First.Equal(rj.First) {
-		return ri.First.Before(rj.First)
-	}
-	return i < j
-}
-func (h *recordHeap) Swap(a, b int) { h.order[a], h.order[b] = h.order[b], h.order[a] }
-func (h *recordHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
-func (h *recordHeap) Pop() any {
-	x := h.order[len(h.order)-1]
-	h.order = h.order[:len(h.order)-1]
-	return x
-}
-
 // StreamFlows synthesizes the window's traffic one pool-sized batch of
-// days at a time and hands each day's time-sorted records to fn in
-// chronological order. Peak memory is one batch of days, not the whole
-// window, while day synthesis still saturates the shared worker pool.
-// Concatenating the chunks reproduces SynthesizeFlows byte for byte. A
-// non-nil error from fn aborts the stream and is returned.
+// days at a time and hands time-sorted records to fn in chronological
+// order. Peak memory is one batch of days, not the whole window, while
+// day synthesis still saturates the shared worker pool. With
+// opts.SpillBudget set, each day's synthesis additionally spills sorted
+// runs to disk and the day streams back as a k-way merge in bounded
+// chunks — fn may then see several calls with the same day timestamp,
+// and peak memory stays near workers × SpillBudget regardless of day
+// size. Either way, concatenating the records across calls reproduces
+// SynthesizeFlows byte for byte. A non-nil error from fn aborts the
+// stream and is returned.
 func (w *World) StreamFlows(from, to time.Time, opts FlowOptions, fn func(day time.Time, records []netflow.Record) error) error {
 	lo, hi := w.clampDays(from, to)
 	if hi < lo {
@@ -151,9 +132,15 @@ func (w *World) StreamFlows(from, to time.Time, opts FlowOptions, fn func(day ti
 	window := stats.Workers(hi - lo + 1)
 	for base := lo; base <= hi; base += window {
 		n := min(window, hi-base+1)
+		if opts.SpillBudget > 0 {
+			if err := w.streamSpilled(base, n, opts, fn); err != nil {
+				return err
+			}
+			continue
+		}
 		chunk := make([][]netflow.Record, n)
 		stats.Parallel(n, func(_, i int) {
-			day := w.synthesizeDay(base+i, opts, nil)
+			day := w.synthesizeDay(base+i, opts, nil, nil)
 			sortByTime(day)
 			chunk[i] = day
 		})
@@ -167,7 +154,59 @@ func (w *World) StreamFlows(from, to time.Time, opts FlowOptions, fn func(day ti
 	return nil
 }
 
-func (w *World) synthesizeDay(d int, opts FlowOptions, out []netflow.Record) []netflow.Record {
+// streamSpilled synthesizes one batch of days under the spill budget and
+// delivers each day's merged runs in order.
+func (w *World) streamSpilled(base, n int, opts FlowOptions, fn func(day time.Time, records []netflow.Record) error) error {
+	runs := make([]*dayRuns, n)
+	errs := make([]error, n)
+	stats.Parallel(n, func(_, i int) {
+		runs[i], errs[i] = w.synthesizeDayRuns(base+i, opts)
+	})
+	// On any failure, drop every day's segments before reporting.
+	fail := func(err error) error {
+		for _, r := range runs {
+			if r != nil {
+				r.cleanup()
+			}
+		}
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+	for i := range runs {
+		day := w.Date(base + i)
+		err := runs[i].deliver(func(recs []netflow.Record) error {
+			return fn(day, recs)
+		})
+		runs[i] = nil
+		if err != nil {
+			return fail(err)
+		}
+	}
+	return nil
+}
+
+// synthesizeDayRuns synthesizes one day under the spill budget,
+// returning its sorted runs.
+func (w *World) synthesizeDayRuns(d int, opts FlowOptions) (*dayRuns, error) {
+	sp := &daySpiller{dir: opts.SpillDir, budget: opts.SpillBudget}
+	out := w.synthesizeDay(d, opts, nil, sp)
+	if sp.err != nil {
+		sp.cleanup()
+		return nil, sp.err
+	}
+	sortByTime(out)
+	return &dayRuns{mem: out, paths: sp.paths, counts: sp.counts}, nil
+}
+
+// synthesizeDay generates one day's records. sp may be nil (keep
+// everything in memory); when set, sp.checkpoint runs between generator
+// calls so an over-budget run spills without the generators — or their
+// RNG streams — ever noticing.
+func (w *World) synthesizeDay(d int, opts FlowOptions, out []netflow.Record, sp *daySpiller) []netflow.Record {
 	rng := stats.NewRNG(w.Cfg.Seed ^ 0xf10f ^ uint64(d)<<16)
 	day := w.Date(d)
 
@@ -185,6 +224,7 @@ func (w *World) synthesizeDay(d int, opts FlowOptions, out []netflow.Record) []n
 		if ep.flags&epSpammer != 0 && w.activeOn(epIdx, ep, d, kindSpam) {
 			out = w.spamFlows(rng, day, src, out)
 		}
+		out = sp.checkpoint(out)
 	}
 
 	// 2. DDoS campaigns scheduled for this day.
@@ -199,6 +239,7 @@ func (w *World) synthesizeDay(d int, opts FlowOptions, out []netflow.Record) []n
 		})
 		for _, src := range participants {
 			out = w.ddosFlows(rng, day, src, c, out)
+			out = sp.checkpoint(out)
 		}
 	}
 
@@ -206,11 +247,12 @@ func (w *World) synthesizeDay(d int, opts FlowOptions, out []netflow.Record) []n
 	for i := 0; i < opts.BenignSourcesPerDay; i++ {
 		src := w.Model.SampleAddr(rng)
 		out = w.benignFlows(rng, day, src, out)
+		out = sp.checkpoint(out)
 	}
 
 	// 4. Candidate-block extras.
 	if opts.CandidateExtras {
-		out = w.candidateExtraFlows(rng, d, out)
+		out = w.candidateExtraFlows(rng, d, out, sp)
 	}
 	return out
 }
@@ -362,7 +404,7 @@ func (w *World) benignFlows(rng *stats.RNG, day time.Time, src netaddr.Addr, out
 // rare legitimate clients (the innocent population). Pools are derived
 // deterministically from the block base so the same hosts recur across
 // the window, exactly as hand-examination found in §6.2.
-func (w *World) candidateExtraFlows(rng *stats.RNG, d int, out []netflow.Record) []netflow.Record {
+func (w *World) candidateExtraFlows(rng *stats.RNG, d int, out []netflow.Record, sp *daySpiller) []netflow.Record {
 	day := w.Date(d)
 	var blocks []netaddr.Addr
 	w.botTestBlocks.Each(func(base netaddr.Addr) bool {
@@ -404,6 +446,7 @@ func (w *World) candidateExtraFlows(rng *stats.RNG, d int, out []netflow.Record)
 				out = w.benignFlows(rng, day, host, out)
 			}
 		}
+		out = sp.checkpoint(out)
 	}
 	return out
 }

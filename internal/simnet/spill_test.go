@@ -1,0 +1,153 @@
+package simnet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"unclean/internal/netflow"
+)
+
+func recordsIdentical(t *testing.T, label string, got, want []netflow.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d records, want %d", label, len(got), len(want))
+	}
+	// Compare through the segment encoding: it covers every
+	// analysis-relevant field and normalizes time.Time representation
+	// differences (a disk round trip rebuilds wall-clock UTC times that
+	// are Equal but not structurally identical).
+	var gb, wb [netflow.SegmentRecordSize]byte
+	for i := range got {
+		netflow.EncodeSegmentRecord(gb[:], &got[i])
+		netflow.EncodeSegmentRecord(wb[:], &want[i])
+		if gb != wb {
+			t.Fatalf("%s: record %d differs:\n got %v\nwant %v", label, i, &got[i], &want[i])
+		}
+	}
+}
+
+// TestStreamFlowsSpillIdentical is the core external-memory guarantee:
+// streaming with an aggressively small spill budget yields exactly the
+// record sequence the in-memory path yields, chunk boundaries aside.
+func TestStreamFlowsSpillIdentical(t *testing.T) {
+	cfg := DefaultConfig(1.0 / 4096)
+	cfg.Seed = 777
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := date(2006, 10, 1)
+	to := date(2006, 10, 5)
+	base := FlowOptions{BenignSourcesPerDay: 60, CandidateExtras: true}
+
+	var want []netflow.Record
+	if err := w.StreamFlows(from, to, base, func(_ time.Time, recs []netflow.Record) error {
+		want = append(want, recs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A budget of a few hundred records forces many spill runs per day.
+	for _, budget := range []int{recordMemBytes * 200, recordMemBytes * 5000, 1 << 30} {
+		opts := base
+		opts.SpillBudget = budget
+		opts.SpillDir = t.TempDir()
+		var got []netflow.Record
+		calls := 0
+		if err := w.StreamFlows(from, to, opts, func(_ time.Time, recs []netflow.Record) error {
+			got = append(got, recs...)
+			calls++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		recordsIdentical(t, "spilled stream", got, want)
+		if calls == 0 {
+			t.Fatal("fn never called")
+		}
+		// Segments must all be cleaned up.
+		left, err := os.ReadDir(opts.SpillDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range left {
+			if strings.Contains(e.Name(), "spill") {
+				t.Fatalf("leftover spill segment %s", e.Name())
+			}
+		}
+	}
+}
+
+// TestStreamFlowsSpillError proves a failing consumer aborts the merge
+// and leaves no segment files behind.
+func TestStreamFlowsSpillError(t *testing.T) {
+	cfg := DefaultConfig(1.0 / 4096)
+	cfg.Seed = 778
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := FlowOptions{
+		BenignSourcesPerDay: 60,
+		CandidateExtras:     true,
+		SpillBudget:         recordMemBytes * 100,
+		SpillDir:            t.TempDir(),
+	}
+	boom := os.ErrClosed
+	err = w.StreamFlows(date(2006, 10, 1), date(2006, 10, 9), opts,
+		func(time.Time, []netflow.Record) error { return boom })
+	if err != boom {
+		t.Fatalf("got %v, want consumer error", err)
+	}
+	left, err := os.ReadDir(opts.SpillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d files left after aborted stream", len(left))
+	}
+}
+
+// TestStreamFlowsSpillBadDir surfaces a spill-directory failure as an
+// error rather than wrong output.
+func TestStreamFlowsSpillBadDir(t *testing.T) {
+	cfg := DefaultConfig(1.0 / 4096)
+	cfg.Seed = 779
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := FlowOptions{
+		BenignSourcesPerDay: 60,
+		SpillBudget:         recordMemBytes * 10,
+		SpillDir:            filepath.Join(t.TempDir(), "does", "not", "exist"),
+	}
+	err = w.StreamFlows(date(2006, 10, 1), date(2006, 10, 2), opts,
+		func(time.Time, []netflow.Record) error { return nil })
+	if err == nil {
+		t.Fatal("stream with unusable spill dir succeeded")
+	}
+}
+
+// TestDayRunsDeliverEmpty checks an empty day still announces itself,
+// matching the in-memory path's contract.
+func TestDayRunsDeliverEmpty(t *testing.T) {
+	r := &dayRuns{}
+	calls := 0
+	if err := r.deliver(func(recs []netflow.Record) error {
+		calls++
+		if len(recs) != 0 {
+			t.Fatalf("unexpected records: %d", len(recs))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("deliver called fn %d times, want 1", calls)
+	}
+}
