@@ -66,6 +66,20 @@
 //	       [-shards N] [-batch N] [-tcp] [-max-udp N] [-analytics-sample N]
 //	       [-feed NAME=PATH ...] [-mesh-threshold F]
 //	       [-log-format text|json] [-log-level LEVEL] [-flight-dump PATH]
+//	       [-profile DUR] [-watchdog DUR] [-watch RULE ...] [-bundle-dir DIR]
+//
+// The diagnostics autopilot rides along by default: a continuous
+// profiler keeps a small ring of recent CPU/heap/goroutine profiles
+// (-profile tunes the cycle, 0 disables), and an anomaly watchdog
+// evaluates declarative rules over the daemon's own signals every
+// -watchdog interval — SLO burn, shed fraction, panics, goroutine/RSS
+// growth slopes, breaker trips, mesh quarantines. When a rule holds
+// long enough it captures a diagnostics bundle (profiles, flight dump,
+// metrics, health, mesh state, the rule's evidence) into -bundle-dir
+// (or $UNCLEAN_BUNDLE_DIR) as one atomic tar.gz; /debug/bundle serves
+// the same capture on demand, and `uncleanctl diagnose -summarize FILE`
+// triages one offline. -watch adds or overrides rules, e.g.
+// -watch 'shed: dnsbl_shed_frac_1m > 0.5 hold=6 cooldown=30m'.
 package main
 
 import (
@@ -90,7 +104,10 @@ import (
 	"unclean/internal/feedmesh"
 	"unclean/internal/netaddr"
 	"unclean/internal/obs"
+	"unclean/internal/obs/bundle"
 	"unclean/internal/obs/flight"
+	"unclean/internal/obs/prof"
+	"unclean/internal/obs/watchdog"
 	"unclean/internal/report"
 	"unclean/internal/retry"
 	"unclean/internal/tracker"
@@ -135,6 +152,10 @@ type options struct {
 	logFormat       string
 	logLevel        string
 	flightDump      string
+	profile         time.Duration
+	watchdogTick    time.Duration
+	watchRules      []string
+	bundleDir       string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -169,6 +190,16 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.logFormat, "log-format", "", "log format: text or json (overrides "+formatEnv+"; empty defers to env)")
 	fs.StringVar(&o.logLevel, "log-level", "", "log level: debug, info, warn, error (overrides "+levelEnv+"; empty defers to env)")
 	fs.StringVar(&o.flightDump, "flight-dump", "", "flight-recorder crash dump path (overrides "+flight.DumpPathEnv+"; empty defers to env)")
+	fs.DurationVar(&o.profile, "profile", time.Minute,
+		"continuous-profiler collection interval (0 disables; CPU burst is capped at a tenth of this)")
+	fs.DurationVar(&o.watchdogTick, "watchdog", 10*time.Second,
+		"anomaly-watchdog evaluation interval (0 disables; rule over= and hold= counts are in these ticks)")
+	fs.Func("watch", "extra watchdog rule as 'NAME: SIGNAL OP VALUE [over=N] [hold=N] [cooldown=DUR]'; repeatable, a NAME matching a default rule replaces it", func(v string) error {
+		o.watchRules = append(o.watchRules, v)
+		return nil
+	})
+	fs.StringVar(&o.bundleDir, "bundle-dir", "",
+		"directory for triggered diagnostics bundles (overrides "+bundle.DirEnv+"; empty defers to env, both empty disables file capture)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -230,6 +261,22 @@ func parseFlags(args []string) (*options, error) {
 			seen[name] = true
 		}
 	}
+	if o.profile < 0 {
+		return nil, fmt.Errorf("-profile must be 0 (disabled) or a positive interval; got %s", o.profile)
+	}
+	if o.watchdogTick < 0 {
+		return nil, fmt.Errorf("-watchdog must be 0 (disabled) or a positive interval; got %s", o.watchdogTick)
+	}
+	if o.bundleDir == "" {
+		o.bundleDir = os.Getenv(bundle.DirEnv)
+	}
+	// Rule syntax errors are configuration errors: refuse to start
+	// rather than run with silently fewer rules than the operator wrote.
+	for _, r := range o.watchRules {
+		if _, err := watchdog.ParseRule(r); err != nil {
+			return nil, err
+		}
+	}
 	if o.logFormat != "" && o.logFormat != "text" && o.logFormat != "json" {
 		return nil, fmt.Errorf("-log-format must be text or json")
 	}
@@ -271,8 +318,9 @@ func applyLogFlags(o *options) {
 // profiling, and expvar. A dedicated mux (not http.DefaultServeMux)
 // keeps the surface explicit and testable. A nil health serves an
 // always-ready check set; a nil recorder serves the process-default
-// ring; a nil analytics leaves /debug/topk unmounted.
-func metricsMux(health *obs.Health, events *flight.Recorder, analytics *dnsbl.Analytics, regs ...*obs.Registry) *http.ServeMux {
+// ring; a nil analytics leaves /debug/topk unmounted; a nil capture
+// leaves /debug/bundle unmounted.
+func metricsMux(health *obs.Health, events *flight.Recorder, analytics *dnsbl.Analytics, capture func() bundle.CaptureConfig, regs ...*obs.Registry) *http.ServeMux {
 	if health == nil {
 		health = obs.NewHealth()
 	}
@@ -289,6 +337,9 @@ func metricsMux(health *obs.Health, events *flight.Recorder, analytics *dnsbl.An
 	if analytics != nil {
 		mux.Handle("/debug/topk", analytics.Handler())
 	}
+	if capture != nil {
+		mux.Handle("/debug/bundle", bundle.Handler(capture))
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -301,16 +352,19 @@ func metricsMux(health *obs.Health, events *flight.Recorder, analytics *dnsbl.An
 // serveMetrics binds the diagnostic HTTP listener and serves it in the
 // background. The returned shutdown func closes the listener; the
 // returned address is the bound one (useful with ":0").
-func serveMetrics(addr string, health *obs.Health, events *flight.Recorder, analytics *dnsbl.Analytics, regs ...*obs.Registry) (string, func(), error) {
+func serveMetrics(addr string, health *obs.Health, events *flight.Recorder, analytics *dnsbl.Analytics, capture func() bundle.CaptureConfig, regs ...*obs.Registry) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listen: %w", err)
 	}
-	hs := &http.Server{Handler: metricsMux(health, events, analytics, regs...)}
+	hs := &http.Server{Handler: metricsMux(health, events, analytics, capture, regs...)}
 	go hs.Serve(ln) //nolint:errcheck // Close below is the shutdown path
 	endpoints := "/metrics /metrics.json /healthz /readyz /debug/events /debug/pprof/ /debug/vars"
 	if analytics != nil {
 		endpoints += " /debug/topk"
+	}
+	if capture != nil {
+		endpoints += " /debug/bundle"
 	}
 	logger.Info("metrics listening",
 		"addr", ln.Addr().String(),
@@ -485,6 +539,46 @@ func buildHealth(o *options, srv *dnsbl.Server, breaker *retry.Breaker, lastLoad
 	return health
 }
 
+// defaultWatchRules is the watchdog's built-in rule set, phrased in the
+// same syntax -watch accepts (a -watch rule with a matching name
+// replaces the default). All counts are in -watchdog ticks (default
+// 10s): over=30 is a five-minute slope window, hold=3 demands thirty
+// seconds of sustained breach before a capture.
+func defaultWatchRules(o *options) []watchdog.Rule {
+	rules := []string{
+		// Error budget burning >10x on the five-minute window: the SLO
+		// will be gone within the hour.
+		"slo-burn: dnsbl_slo_burn_5m > 10 hold=3 cooldown=10m",
+		// The overload valve shedding a fifth of traffic for 30s.
+		"shed: dnsbl_shed_frac_1m > 0.2 hold=3 cooldown=10m",
+		// Any handler panic since the last tick.
+		"panic: dnsbl_panics_total > 0 over=1 cooldown=5m",
+		// Sustained growth, not absolute size: +500 goroutines or
+		// +256MB RSS over five minutes is a leak in progress.
+		"goroutine-growth: runtime_goroutines > 500 over=30 hold=3 cooldown=15m",
+		"rss-growth: runtime_rss_bytes > 268435456 over=30 hold=3 cooldown=15m",
+	}
+	if o.reports != "" && o.reload > 0 {
+		rules = append(rules,
+			"breaker-trip: feed_breaker_open >= 1 cooldown=10m")
+	}
+	if len(o.feeds) > 0 {
+		rules = append(rules,
+			// Any new quarantine transition since the last tick.
+			"mesh-quarantine: feedmesh_quarantines_total > 0 over=1 cooldown=5m",
+			"mesh-degraded: feedmesh_degraded >= 1 hold=2 cooldown=10m")
+	}
+	out := make([]watchdog.Rule, len(rules))
+	for i, s := range rules {
+		r, err := watchdog.ParseRule(s)
+		if err != nil {
+			panic("dnsbld: built-in watchdog rule: " + err.Error()) // unreachable: rules are constants
+		}
+		out[i] = r
+	}
+	return out
+}
+
 func run(ctx context.Context, args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
@@ -589,14 +683,86 @@ func run(ctx context.Context, args []string) error {
 	var lastLoad atomic.Int64
 	lastLoad.Store(time.Now().UnixNano())
 
-	if o.metrics != "" {
-		health := buildHealth(o, srv, breaker, &lastLoad, mesh)
-		health.SetInfo("udp_addr", udpAddr)
-		regs := []*obs.Registry{obs.Default(), srv.Metrics()}
-		if mesh != nil {
-			regs = append(regs, mesh.Metrics())
+	// Diagnostics autopilot: runtime gauges shared by scrapes and
+	// watchdog slope rules, the continuous profiler, and one capture
+	// path every consumer (watchdog trigger, /debug/bundle, fatal exit)
+	// goes through.
+	rs := obs.RegisterRuntimeGauges(obs.Default())
+	health := buildHealth(o, srv, breaker, &lastLoad, mesh)
+	health.SetInfo("udp_addr", udpAddr)
+	regs := []*obs.Registry{obs.Default(), srv.Metrics()}
+	if mesh != nil {
+		regs = append(regs, mesh.Metrics())
+	}
+	var profiler *prof.Profiler
+	if o.profile > 0 {
+		profiler = prof.New(prof.Config{Interval: o.profile})
+	}
+	start := time.Now()
+	captureCfg := func() bundle.CaptureConfig {
+		cfg := bundle.CaptureConfig{
+			Reason:     "manual",
+			Registries: regs,
+			Flight:     flight.Default(),
+			Profiler:   profiler,
+			Health:     health,
+			Start:      start,
 		}
-		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), analytics, regs...)
+		if mesh != nil {
+			cfg.MeshStatus = func() any { return mesh.Status() }
+		}
+		return cfg
+	}
+	captureBundle := func(reason, evidence string, trigger any) {
+		if o.bundleDir == "" {
+			return // evidence still lands in logs and the flight ring
+		}
+		cfg := captureCfg()
+		cfg.Reason, cfg.Evidence, cfg.Trigger = reason, evidence, trigger
+		if path, err := bundle.CaptureToDir(o.bundleDir, cfg); err != nil {
+			logger.Error("diagnostics bundle capture failed", "reason", reason, "error", err)
+		} else {
+			logger.Warn("diagnostics bundle captured", "reason", reason, "path", path)
+		}
+	}
+	var wd *watchdog.Watchdog
+	if o.watchdogTick > 0 {
+		wd = watchdog.New(watchdog.Config{
+			OnTrigger: func(t watchdog.Trigger) {
+				captureBundle("watchdog:"+t.Rule, t.Evidence, t)
+			},
+		})
+		srv.WatchSignals(wd.RegisterSignal)
+		if mesh != nil {
+			mesh.WatchSignals(wd.RegisterSignal)
+		}
+		wd.RegisterSignal("runtime_goroutines", func() float64 { return float64(rs.Goroutines()) })
+		wd.RegisterSignal("runtime_rss_bytes", func() float64 { return float64(rs.RSSBytes()) })
+		wd.RegisterSignal("runtime_heap_live_bytes", func() float64 { return float64(rs.HeapLiveBytes()) })
+		wd.RegisterSignal("feed_breaker_open", func() float64 {
+			if breaker.Open() {
+				return 1
+			}
+			return 0
+		})
+		for _, r := range defaultWatchRules(o) {
+			if err := wd.AddRule(r); err != nil {
+				return err
+			}
+		}
+		for _, s := range o.watchRules {
+			r, err := watchdog.ParseRule(s) // validated in parseFlags; kept load-bearing
+			if err != nil {
+				return err
+			}
+			if err := wd.AddRule(r); err != nil {
+				return err
+			}
+		}
+	}
+
+	if o.metrics != "" {
+		_, stopMetrics, err := serveMetrics(o.metrics, health, flight.Default(), analytics, captureCfg, regs...)
 		if err != nil {
 			return err
 		}
@@ -605,6 +771,24 @@ func run(ctx context.Context, args []string) error {
 
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if profiler != nil {
+		go profiler.Run(sctx)
+	}
+	if wd != nil {
+		go func() {
+			t := time.NewTicker(o.watchdogTick)
+			defer t.Stop()
+			for {
+				select {
+				case <-sctx.Done():
+					return
+				case <-t.C:
+					rs.Update() // slope rules read the same gauges scrapes do
+					wd.Tick()
+				}
+			}
+		}()
+	}
 	serveErr := make(chan error, 1)
 	go func() {
 		if o.shards != 0 {
@@ -676,10 +860,13 @@ func run(ctx context.Context, args []string) error {
 			}
 			return nil
 		case err := <-serveErr:
+			// The socket died underneath us: grab the evidence on the way
+			// down — this is exactly the state a post-mortem wants.
+			captureBundle("fatal", err.Error(), nil)
 			cancel()
 			drainTCP()
 			saveCheckpoint(o, tr)
-			return err // the socket died underneath us
+			return err
 		case <-reloadC:
 			if mesh != nil {
 				// The mesh runs its own per-feed breakers and logging; the

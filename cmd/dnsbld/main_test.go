@@ -138,7 +138,7 @@ func reservePort(t *testing.T) (string, func(), error) {
 func TestMetricsMuxEndpoints(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("unclean_test_mux_total", "mux test counter").Add(7)
-	mux := metricsMux(nil, nil, nil, reg)
+	mux := metricsMux(nil, nil, nil, nil, reg)
 
 	get := func(path string) (*http.Response, string) {
 		t.Helper()

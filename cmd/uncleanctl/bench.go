@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
@@ -14,6 +13,7 @@ import (
 	"unclean/internal/experiments"
 	"unclean/internal/ipset"
 	"unclean/internal/netflow"
+	"unclean/internal/obs"
 	"unclean/internal/simnet"
 	"unclean/internal/stats"
 )
@@ -38,6 +38,8 @@ func cmdBench(args []string) error {
 	budget := fs.Int("spill-budget", 256<<20,
 		"per-worker in-memory budget (bytes) before flow synthesis spills to disk")
 	dir := fs.String("dir", "", "work directory for spill segments and the mapped control image (default: a temp dir)")
+	progressEvery := fs.Duration("progress", 5*time.Second,
+		"print a stage/elapsed/RSS progress line to stderr at this interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,9 +63,12 @@ func cmdBench(args []string) error {
 	var startStats runtime.MemStats
 	runtime.ReadMemStats(&startStats)
 	startAll := time.Now()
+	progress := newBenchProgress(os.Stderr, *progressEvery)
+	defer progress.Stop()
 
 	// Phase 1: the measurement world.
 	fmt.Fprintf(os.Stderr, "bench: building world at scale 1/%g (seed %d)...\n", 1/cfg.Scale, cfg.Seed)
+	progress.Stage("world")
 	start := time.Now()
 	wcfg := simnet.DefaultConfig(cfg.Scale)
 	wcfg.Seed = cfg.Seed
@@ -77,6 +82,7 @@ func cmdBench(args []string) error {
 	// Phase 2: the control report — the set whose raw form is ~188 MB
 	// at paper scale — drawn and compressed. Same size cap and RNG
 	// stream as experiments.Build, so this is the §6 artifact itself.
+	progress.Stage("control")
 	start = time.Now()
 	controlSize := world.ScaledSize(experiments.PaperControlSize)
 	if limit := world.Model.TotalHosts() / 2; controlSize > limit {
@@ -94,6 +100,7 @@ func cmdBench(args []string) error {
 
 	// Phase 3: persist the compressed control as a v2 image and serve
 	// the paper's block-counting queries straight off the mapping.
+	progress.Stage("mapped")
 	start = time.Now()
 	imgPath := filepath.Join(workdir, "control.v2")
 	if err := control.WriteFileV2(imgPath); err != nil {
@@ -121,6 +128,7 @@ func cmdBench(args []string) error {
 
 	// Phase 4: the full unclean window through the compiled prefix
 	// sweep, with synthesis bounded by the spill budget.
+	progress.Stage("sweep")
 	start = time.Now()
 	ms, err := blocklist.SweepSet(world.BotTest(), *lo, *hi)
 	if err != nil {
@@ -146,12 +154,14 @@ func cmdBench(args []string) error {
 		metric{int64(flows), "flows"},
 		metric{int64(float64(flows) / sweep.Seconds()), "flows/sec"})
 
-	// The whole pipeline, with the kernel's verdict on memory.
+	// The whole pipeline, with the kernel's verdict on memory. Stop the
+	// heartbeat first so no progress line lands inside the report.
+	progress.Stop()
 	var endStats runtime.MemStats
 	runtime.ReadMemStats(&endStats)
 	extra := []metric{{int64(endStats.Mallocs - startStats.Mallocs), "allocs/op"}}
-	if rss, ok := peakRSSBytes(); ok {
-		extra = append(extra, metric{rss, "peakRSS-bytes"})
+	if pm, ok := obs.ReadProcMem(); ok {
+		extra = append(extra, metric{pm.Peak, "peakRSS-bytes"})
 	}
 	benchLine("BenchmarkPaperPipeline/"+scaleTag, time.Since(startAll), extra...)
 	return nil
@@ -172,29 +182,4 @@ func benchLine(name string, elapsed time.Duration, extras ...metric) {
 		fmt.Fprintf(&b, "\t%d %s", m.value, m.unit)
 	}
 	fmt.Println(b.String())
-}
-
-// peakRSSBytes reads the process peak resident set (VmHWM) from
-// /proc/self/status. ok is false where the proc file does not exist
-// (non-Linux) or cannot be parsed.
-func peakRSSBytes() (int64, bool) {
-	data, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0, false
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if !strings.HasPrefix(line, "VmHWM:") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return 0, false
-		}
-		kb, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return 0, false
-		}
-		return kb << 10, true
-	}
-	return 0, false
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"unclean/internal/obs"
+)
+
+func TestBenchProgressLine(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	p := newBenchProgress(io.Discard, 0) // every<=0: no goroutine
+	p.now = func() time.Time { return now }
+	p.readMem = func() (obs.ProcMem, bool) {
+		return obs.ProcMem{RSS: 512 << 20, Peak: 3 << 30}, true
+	}
+
+	if got := p.line(); got != "" {
+		t.Fatalf("line before any stage = %q, want empty", got)
+	}
+
+	p.Stage("sweep")
+	now = now.Add(73 * time.Second)
+	want := "bench: sweep running 1m13s, rss 512.0 MiB (peak 3.0 GiB)"
+	if got := p.line(); got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+
+	// No /proc on this platform: the line degrades to stage+elapsed.
+	p.readMem = func() (obs.ProcMem, bool) { return obs.ProcMem{}, false }
+	if got := p.line(); got != "bench: sweep running 1m13s" {
+		t.Fatalf("line without memory probe = %q", got)
+	}
+
+	p.Stop()
+	p.Stop() // idempotent
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+		{int64(1.5 * float64(1<<30)), "1.5 GiB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.n); got != c.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"unclean/internal/atomicfile"
+	"unclean/internal/obs/bundle"
+)
+
+// cmdDiagnose is the one-command capture-and-triage path for
+// diagnostics bundles. Two modes, combinable:
+//
+//	uncleanctl diagnose -metrics 127.0.0.1:9090 -out /var/tmp
+//	    pull a fresh bundle from a running dnsbld's /debug/bundle,
+//	    save it atomically into -out, and summarize it
+//	uncleanctl diagnose -summarize bundle-...tar.gz
+//	    triage an already-captured bundle entirely offline
+//
+// Either way the bundle is fully verified (manifest first, per-member
+// CRCs) before a single line of summary prints — a corrupt bundle is an
+// error, not a half-screen of plausible nonsense.
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	metrics := fs.String("metrics", "", "dnsbld diagnostic HTTP address (host:port of its -metrics flag); pulls a fresh bundle from /debug/bundle")
+	out := fs.String("out", ".", "directory to save a pulled bundle into (with -metrics)")
+	summarize := fs.String("summarize", "", "summarize this bundle file (offline; no daemon needed)")
+	reason := fs.String("reason", "manual", "capture reason recorded in a pulled bundle's manifest")
+	timeout := fs.Duration("timeout", 30*time.Second, "HTTP timeout for the pull (retained profiles can make bundles large)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *metrics == "" && *summarize == "":
+		return fmt.Errorf("diagnose: need -metrics ADDR (pull from a daemon) or -summarize FILE (offline)")
+	case *metrics != "" && *summarize != "":
+		return fmt.Errorf("diagnose: -metrics and -summarize are exclusive: pull saves and then summarizes on its own")
+	case *summarize != "":
+		b, err := bundle.Open(*summarize)
+		if err != nil {
+			return fmt.Errorf("diagnose: %w", err)
+		}
+		return bundle.Summarize(os.Stdout, b)
+	}
+
+	base := *metrics
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	path, err := pullBundle(&http.Client{Timeout: *timeout}, base, *out, *reason)
+	if err != nil {
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	fmt.Printf("saved %s\n\n", path)
+	b, err := bundle.Open(path)
+	if err != nil {
+		return fmt.Errorf("diagnose: pulled bundle fails verification: %w", err)
+	}
+	return bundle.Summarize(os.Stdout, b)
+}
+
+// pullBundle GETs /debug/bundle and saves the stream atomically under
+// dir, preferring the server's suggested filename so pulled and
+// watchdog-captured bundles sort together.
+func pullBundle(client *http.Client, base, dir, reason string) (string, error) {
+	res, err := client.Get(base + "/debug/bundle?reason=" + reason)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return "", fmt.Errorf("/debug/bundle: %s: %s", res.Status, strings.TrimSpace(string(body)))
+	}
+	name := suggestedFilename(res.Header.Get("Content-Disposition"))
+	if name == "" {
+		name = fmt.Sprintf("bundle-%s.tar.gz", time.Now().UTC().Format("20060102T150405Z"))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	err = atomicfile.WriteStream(path, func(w io.Writer) error {
+		_, err := io.Copy(w, res.Body)
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// suggestedFilename extracts filename="..." from a Content-Disposition
+// header ("" when absent or odd-looking). Only a plain basename is
+// accepted — a server must not steer the write outside -out.
+func suggestedFilename(cd string) string {
+	const marker = `filename="`
+	i := strings.Index(cd, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := cd[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j <= 0 {
+		return ""
+	}
+	name := rest[:j]
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return ""
+	}
+	return name
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"unclean/internal/obs"
+	"unclean/internal/obs/bundle"
+	"unclean/internal/obs/flight"
+	"unclean/internal/obs/prof"
+)
+
+// TestDiagnosePullE2E runs the full capture path against a fake daemon:
+// an httptest server mounting the real /debug/bundle handler over live
+// diagnostics sources, pulled with pullBundle exactly as `uncleanctl
+// diagnose -metrics` does, then verified, opened, and summarized.
+func TestDiagnosePullE2E(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("unclean_e2e_queries_total", "e2e counter").Add(42)
+
+	fr := flight.New(64)
+	fr.Record(flight.Event{Kind: flight.KindQuery, Verdict: "hit", Name: "test-zone"})
+
+	p := prof.New(prof.Config{Interval: time.Second, CPUDuration: -1, Registry: obs.NewRegistry()})
+	p.CollectOnce(context.Background())
+
+	h := obs.NewHealth()
+	h.AddCheck("zone", func() (bool, string) { return true, "loaded" })
+
+	start := time.Now().Add(-time.Hour)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/bundle", bundle.Handler(func() bundle.CaptureConfig {
+		return bundle.CaptureConfig{
+			Reason:     "manual",
+			Registries: []*obs.Registry{reg},
+			Flight:     fr,
+			Profiler:   p,
+			Health:     h,
+			Start:      start,
+		}
+	}))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	dir := t.TempDir()
+	path, err := pullBundle(srv.Client(), srv.URL, dir, "on-call")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server's suggested filename carries the reason the puller sent.
+	if !strings.Contains(path, "on-call") || !strings.HasSuffix(path, ".tar.gz") {
+		t.Fatalf("saved path %q, want the on-call reason in a .tar.gz name", path)
+	}
+
+	b, err := bundle.Open(path)
+	if err != nil {
+		t.Fatalf("pulled bundle fails verification: %v", err)
+	}
+	if b.Manifest.Reason != "on-call" {
+		t.Fatalf("manifest reason %q, want the ?reason= override", b.Manifest.Reason)
+	}
+	if !strings.Contains(string(b.File(bundle.MetricsTextName)), "unclean_e2e_queries_total 42") {
+		t.Fatal("pulled bundle lacks the daemon's metrics")
+	}
+	if len(b.ProfileNames()) == 0 {
+		t.Fatal("pulled bundle carried no profiles")
+	}
+
+	var sum strings.Builder
+	if err := bundle.Summarize(&sum, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"on-call", "READY", "pprof"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Fatalf("summary lacks %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+func TestDiagnosePullErrorSurfacesBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no bundle for you", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	_, err := pullBundle(srv.Client(), srv.URL, t.TempDir(), "manual")
+	if err == nil || !strings.Contains(err.Error(), "no bundle for you") {
+		t.Fatalf("err = %v, want the server's body in the message", err)
+	}
+}
+
+func TestSuggestedFilename(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`attachment; filename="bundle-x.tar.gz"`, "bundle-x.tar.gz"},
+		{`attachment`, ""},
+		{``, ""},
+		{`attachment; filename="../../etc/cron.d/evil"`, ""},
+		{`attachment; filename="/abs/path.tar.gz"`, ""},
+		{`attachment; filename=".hidden"`, ""},
+		{`attachment; filename=""`, ""},
+	}
+	for _, c := range cases {
+		if got := suggestedFilename(c.in); got != c.want {
+			t.Errorf("suggestedFilename(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -69,6 +69,8 @@ func run(args []string) error {
 		return cmdStatus(args[1:])
 	case "top":
 		return cmdTop(args[1:])
+	case "diagnose":
+		return cmdDiagnose(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -102,6 +104,11 @@ commands:
   top     -metrics ADDR live query analytics of a running dnsbld: top
                         clients, hottest subnets, and the prediction
                         scoreboard (addresses queried before listing)
+  diagnose [flags]      capture or triage a diagnostics bundle:
+                        -metrics ADDR pulls /debug/bundle from a running
+                        dnsbld (and -out DIR saves it);
+                        -summarize FILE prints a one-screen offline
+                        triage view of a captured bundle
 
 common flags: -scale (denominator: 64 means 1/64 of paper scale; any
 value >= 1 is accepted, including fractional ones like 2.5), -seed, -draws

@@ -285,6 +285,17 @@ func (s *Server) ShedRate(window time.Duration) float64 {
 // rolling windows), for burn-rate checks and readiness rules.
 func (s *Server) SLO() *obs.SLO { return s.slo }
 
+// WatchSignals registers the server's anomaly-watchdog signals with
+// register (typically watchdog.Watchdog.RegisterSignal): the trailing
+// shed fraction, SLO burn rates, and the panic counter. The func-typed
+// hook keeps this package free of a watchdog dependency.
+func (s *Server) WatchSignals(register func(name string, fn func() float64)) {
+	register("dnsbl_shed_frac_1m", func() float64 { return s.ShedRate(time.Minute) })
+	register("dnsbl_slo_burn_5m", func() float64 { return s.slo.BurnRate(5 * time.Minute) })
+	register("dnsbl_slo_burn_1h", func() float64 { return s.slo.BurnRate(time.Hour) })
+	register("dnsbl_panics_total", func() float64 { return float64(s.panics.Value()) })
+}
+
 // SetFlightRecorder redirects the server's wide events to r (tests and
 // multi-server processes that keep separate rings). Call before Serve.
 func (s *Server) SetFlightRecorder(r *flight.Recorder) {

@@ -705,6 +705,28 @@ func (m *Mesh) HealthCheck() obs.Check {
 	}
 }
 
+// WatchSignals registers the mesh's anomaly-watchdog signals with
+// register (typically watchdog.Watchdog.RegisterSignal): the cumulative
+// quarantine-transition count (a slope rule over it fires on new
+// quarantine events), the live unhealthy-feed count, and the degraded
+// flag. The func-typed hook keeps this package free of a watchdog
+// dependency.
+func (m *Mesh) WatchSignals(register func(name string, fn func() float64)) {
+	register("feedmesh_quarantines_total", func() float64 {
+		return float64(m.mQuarantines.Value())
+	})
+	register("feedmesh_unhealthy_feeds", func() float64 {
+		st := m.Status()
+		return float64(st.TotalFeeds - st.HealthyFeeds)
+	})
+	register("feedmesh_degraded", func() float64 {
+		if m.Status().Degraded {
+			return 1
+		}
+		return 0
+	})
+}
+
 // permille scales a ratio to an int64 gauge value (obs gauges are
 // integer-only).
 func permille(x float64) int64 { return int64(math.Round(x * 1000)) }

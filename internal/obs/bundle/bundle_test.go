@@ -1,0 +1,340 @@
+package bundle
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"testing"
+	"time"
+
+	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
+	"unclean/internal/obs/prof"
+)
+
+// testManifest is a fully pinned manifest so outputs are byte-stable.
+func testManifest() Manifest {
+	return Manifest{
+		CreatedAt: "2026-08-08T12:00:00Z",
+		Reason:    "watchdog:shed",
+		Evidence:  "dnsbl_shed_frac_1m=0.4 > 0.2, held 3 tick(s)",
+		PID:       1234,
+		GoVersion: "go1.22.0",
+		Platform:  "linux/amd64",
+		Uptime:    "1h0m0s",
+	}
+}
+
+func testFiles() []File {
+	return []File{
+		{Name: MetricsTextName, Data: []byte("unclean_up 1\n"), Note: "metrics snapshot"},
+		{Name: ProfileDir + "heap-000002.pprof", Data: []byte{0x1f, 0x8b, 0x08, 0x00}, Note: "heap profile"},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testManifest(), testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manifest.Version != Version || b.Manifest.Reason != "watchdog:shed" {
+		t.Fatalf("manifest = %+v", b.Manifest)
+	}
+	if got := string(b.File(MetricsTextName)); got != "unclean_up 1\n" {
+		t.Fatalf("metrics member = %q", got)
+	}
+	if names := b.ProfileNames(); len(names) != 1 || names[0] != ProfileDir+"heap-000002.pprof" {
+		t.Fatalf("profile names = %v", names)
+	}
+	if note := b.Manifest.Files[0].Note; note != "metrics snapshot" {
+		t.Fatalf("note = %q", note)
+	}
+}
+
+// TestManifestGoldenShape pins the exact MANIFEST.json rendering — key
+// names, ordering, indentation — so a layout change is a conscious
+// Version bump, not an accident a summarizer discovers in the field.
+func TestManifestGoldenShape(t *testing.T) {
+	files := testFiles()
+	var buf bytes.Buffer
+	if err := Write(&buf, testManifest(), files); err != nil {
+		t.Fatal(err)
+	}
+	// Pull the raw manifest member back out of the archive.
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(gz)
+	hdr, err := tr.Next()
+	if err != nil || hdr.Name != ManifestName {
+		t.Fatalf("first member %q err %v, want %s", hdr.Name, err, ManifestName)
+	}
+	var man bytes.Buffer
+	if _, err := man.ReadFrom(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := fmt.Sprintf(`{
+  "version": 1,
+  "created_at": "2026-08-08T12:00:00Z",
+  "reason": "watchdog:shed",
+  "evidence": "dnsbl_shed_frac_1m=0.4 \u003e 0.2, held 3 tick(s)",
+  "pid": 1234,
+  "go_version": "go1.22.0",
+  "platform": "linux/amd64",
+  "uptime": "1h0m0s",
+  "files": [
+    {
+      "name": "metrics.prom",
+      "size": 13,
+      "crc32": %d,
+      "note": "metrics snapshot"
+    },
+    {
+      "name": "profiles/heap-000002.pprof",
+      "size": 4,
+      "crc32": %d,
+      "note": "heap profile"
+    }
+  ]
+}
+`, crc32.ChecksumIEEE(files[0].Data), crc32.ChecksumIEEE(files[1].Data))
+	if got := man.String(); got != golden {
+		t.Fatalf("MANIFEST.json drifted from the golden shape:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+func TestWriteRejectsDuplicateNames(t *testing.T) {
+	var buf bytes.Buffer
+	dup := []File{{Name: "x", Data: []byte("a")}, {Name: "x", Data: []byte("b")}}
+	if err := Write(&buf, testManifest(), dup); err == nil {
+		t.Fatal("duplicate member names accepted")
+	}
+	if err := Write(&buf, testManifest(), []File{{Name: ""}}); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+func TestReadRejectsCorruptBundle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testManifest(), testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// A flipped byte in the compressed stream.
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0xff
+	if _, err := Read(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("bit-flipped bundle read back cleanly")
+	}
+
+	// A truncated download.
+	if _, err := Read(bytes.NewReader(good[:len(good)-16])); err == nil {
+		t.Fatal("truncated bundle read back cleanly")
+	}
+
+	// Garbage that is not gzip at all.
+	if _, err := Read(strings.NewReader("not a bundle")); err == nil {
+		t.Fatal("non-gzip input read back cleanly")
+	}
+}
+
+// TestReadRejectsTamperedMember rebuilds a valid archive with one
+// member's bytes altered but the manifest left stale: the per-member
+// CRC must catch it even though gzip and tar are both intact.
+func TestReadRejectsTamperedMember(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testManifest(), testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(gz)
+
+	var out bytes.Buffer
+	ogz := gzip.NewWriter(&out)
+	otw := tar.NewWriter(ogz)
+	for {
+		hdr, err := tr.Next()
+		if err != nil {
+			break
+		}
+		var data bytes.Buffer
+		if _, err := data.ReadFrom(tr); err != nil {
+			t.Fatal(err)
+		}
+		raw := data.Bytes()
+		if hdr.Name == MetricsTextName {
+			raw = []byte("unclean_up 0\n") // same length, different bytes
+		}
+		hdr.Size = int64(len(raw))
+		if err := otw.WriteHeader(hdr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := otw.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	otw.Close()
+	ogz.Close()
+
+	_, err = Read(&out)
+	if err == nil {
+		t.Fatal("tampered member read back cleanly")
+	}
+	if !strings.Contains(err.Error(), MetricsTextName) || !strings.Contains(err.Error(), "crc32") {
+		t.Fatalf("error %q does not name the broken member's CRC", err)
+	}
+}
+
+func TestReadRejectsWrongLayout(t *testing.T) {
+	// Manifest not first.
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	tw.WriteHeader(&tar.Header{Name: "stray.txt", Mode: 0o644, Size: 2})
+	tw.Write([]byte("hi"))
+	tw.Close()
+	gz.Close()
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), ManifestName) {
+		t.Fatalf("manifest-not-first got %v", err)
+	}
+
+	// A future layout version.
+	buf.Reset()
+	gz = gzip.NewWriter(&buf)
+	tw = tar.NewWriter(gz)
+	manJSON, _ := json.Marshal(Manifest{Version: Version + 1})
+	tw.WriteHeader(&tar.Header{Name: ManifestName, Mode: 0o644, Size: int64(len(manJSON))})
+	tw.Write(manJSON)
+	tw.Close()
+	gz.Close()
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version got %v", err)
+	}
+
+	// A member the manifest promises but the archive lacks.
+	buf.Reset()
+	gz = gzip.NewWriter(&buf)
+	tw = tar.NewWriter(gz)
+	manJSON, _ = json.Marshal(Manifest{Version: Version, Files: []FileEntry{{Name: "gone.json", Size: 1}}})
+	tw.WriteHeader(&tar.Header{Name: ManifestName, Mode: 0o644, Size: int64(len(manJSON))})
+	tw.Write(manJSON)
+	tw.Close()
+	gz.Close()
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "gone.json") {
+		t.Fatalf("missing member got %v", err)
+	}
+}
+
+// TestCaptureToDirAndSummarize is the full circle: capture from live
+// diagnostics sources, write atomically, open with verification, and
+// render the one-screen triage view.
+func TestCaptureToDirAndSummarize(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("unclean_test_hits_total", "test counter").Add(7)
+
+	fr := flight.New(64)
+	fr.Record(flight.Event{Kind: flight.KindWatchdog, Name: "shed", Verdict: "trigger", Detail: "evidence"})
+
+	p := prof.New(prof.Config{Interval: time.Second, CPUDuration: -1, Registry: obs.NewRegistry()})
+	p.CollectOnce(context.Background())
+
+	h := obs.NewHealth()
+	h.AddCheck("zone", func() (bool, string) { return true, "loaded" })
+	h.SetInfo("addr", "127.0.0.1:5353")
+
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+	path, err := CaptureToDir(dir, CaptureConfig{
+		Reason:     "watchdog:shed",
+		Evidence:   "dnsbl_shed_frac_1m=0.4 > 0.2",
+		Trigger:    map[string]any{"rule": "shed", "value": 0.4},
+		Registries: []*obs.Registry{reg},
+		Flight:     fr,
+		Profiler:   p,
+		Health:     h,
+		MeshStatus: func() any { return map[string]any{"Round": 3} },
+		Start:      now.Add(-90 * time.Minute),
+		Now:        func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "bundle-20260808T120000Z-watchdog-shed.tar.gz"; !strings.HasSuffix(path, want) {
+		t.Fatalf("capture path %q, want suffix %q", path, want)
+	}
+
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manifest.Reason != "watchdog:shed" || b.Manifest.Uptime != "1h30m0s" {
+		t.Fatalf("manifest = %+v", b.Manifest)
+	}
+	for _, name := range []string{TriggerName, MetricsTextName, MetricsJSONName, FlightName, HealthName, MeshName} {
+		if b.File(name) == nil {
+			t.Fatalf("capture missing member %s", name)
+		}
+	}
+	if !strings.Contains(string(b.File(MetricsTextName)), "unclean_test_hits_total 7") {
+		t.Fatalf("metrics member lacks the counter:\n%s", b.File(MetricsTextName))
+	}
+	if len(b.ProfileNames()) == 0 {
+		t.Fatal("capture carried no profiles")
+	}
+
+	var sum strings.Builder
+	if err := Summarize(&sum, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"watchdog:shed", "READY", "uptime=1h30m0s"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Fatalf("summary lacks %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// TestCaptureDegradesPerMember: a failing source becomes an empty
+// member with a FAILED note, never a failed capture.
+func TestCaptureDegradesPerMember(t *testing.T) {
+	var buf bytes.Buffer
+	err := Capture(&buf, CaptureConfig{
+		Reason:     "manual",
+		Registries: []*obs.Registry{obs.NewRegistry()},
+		MeshStatus: func() any { return map[string]any{"bad": func() {}} }, // unmarshalable
+		Now:        func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatalf("capture failed outright on a bad source: %v", err)
+	}
+	b, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var note string
+	for _, fe := range b.Manifest.Files {
+		if fe.Name == MeshName {
+			note = fe.Note
+		}
+	}
+	if !strings.HasPrefix(note, "FAILED: ") {
+		t.Fatalf("mesh member note = %q, want a FAILED marker", note)
+	}
+	if len(b.File(MeshName)) != 0 {
+		t.Fatal("failed member carried partial bytes")
+	}
+}

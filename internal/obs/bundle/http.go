@@ -1,0 +1,38 @@
+package bundle
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler serves /debug/bundle: each GET runs a fresh capture and
+// streams the tar.gz as a download. cfg is called per request so the
+// capture sees current state; the request may narrow the reason with
+// ?reason= (sanitized into the suggested filename).
+func Handler(cfg func() CaptureConfig) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := cfg()
+		if c.Reason == "" {
+			c.Reason = "manual"
+		}
+		if reason := r.URL.Query().Get("reason"); reason != "" {
+			c.Reason = reason
+		}
+		now := c.Now
+		if now == nil {
+			now = time.Now
+		}
+		name := fmt.Sprintf("bundle-%s-%s.tar.gz",
+			now().UTC().Format("20060102T150405Z"), sanitize(c.Reason))
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+name+`"`)
+		// Capture writes straight to the response; an error mid-stream
+		// cannot change the status line anymore, so it only truncates —
+		// and a truncated bundle fails CRC verification on read, which
+		// is the failure mode we want (loud, not subtly wrong).
+		if err := Capture(w, c); err != nil {
+			http.Error(w, "bundle capture failed: "+err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

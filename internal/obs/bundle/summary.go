@@ -1,0 +1,251 @@
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Offline triage. Summarize renders a bundle as one screen of text —
+// the view `uncleanctl diagnose -summarize FILE` prints — entirely from
+// the bundle's own bytes. Every member is parsed back through the same
+// wire shapes the daemon emitted, so a summary that renders is also a
+// structural round-trip check on the whole bundle.
+
+// Wire mirrors of the member documents. They decode leniently (unknown
+// fields ignored, missing fields zero) because a bundle may outlive the
+// build that wrote it.
+type (
+	sumTrigger struct {
+		Rule      string  `json:"rule"`
+		Signal    string  `json:"signal"`
+		Value     float64 `json:"value"`
+		Threshold float64 `json:"threshold"`
+		Op        string  `json:"op"`
+		Held      int     `json:"held"`
+		At        string  `json:"at"`
+		Evidence  string  `json:"evidence"`
+	}
+	sumHealth struct {
+		Ready  bool `json:"ready"`
+		Checks map[string]struct {
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		} `json:"checks"`
+		Info map[string]string `json:"info"`
+	}
+	sumMetrics struct {
+		Metrics []struct {
+			Name     string             `json:"name"`
+			Labels   map[string]string  `json:"labels"`
+			Value    *int64             `json:"value"`
+			BurnRate map[string]float64 `json:"burn_rate"`
+		} `json:"metrics"`
+	}
+	sumEvent struct {
+		Time    string   `json:"time"`
+		Kind    string   `json:"kind"`
+		Verdict string   `json:"verdict"`
+		Name    string   `json:"name"`
+		Detail  string   `json:"detail"`
+		Flags   []string `json:"flags"`
+	}
+	sumFlight struct {
+		Recorded uint64     `json:"recorded"`
+		Events   []sumEvent `json:"events"`
+		Kept     []sumEvent `json:"kept"`
+	}
+	sumMesh struct {
+		Round        uint64  `json:"Round"`
+		Degraded     bool    `json:"Degraded"`
+		HealthyFeeds int     `json:"HealthyFeeds"`
+		TotalFeeds   int     `json:"TotalFeeds"`
+		PoisonFrac   float64 `json:"PoisonFrac"`
+		Feeds        []struct {
+			Name      string `json:"Name"`
+			State     int    `json:"State"`
+			LastError string `json:"LastError"`
+		} `json:"Feeds"`
+	}
+)
+
+var meshStateNames = [...]string{"healthy", "probation", "quarantined"}
+
+func meshStateName(s int) string {
+	if s >= 0 && s < len(meshStateNames) {
+		return meshStateNames[s]
+	}
+	return fmt.Sprintf("state-%d", s)
+}
+
+// gzipMagic opens every pprof profile runtime/pprof writes.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// Summarize prints the one-screen triage view of b to w. It returns an
+// error only for members that exist but fail to parse — a structurally
+// broken bundle should fail the diagnose command, not render a
+// half-screen.
+func Summarize(w io.Writer, b *Bundle) error {
+	man := b.Manifest
+	fmt.Fprintf(w, "diagnostics bundle  reason=%s  created=%s\n", man.Reason, man.CreatedAt)
+	id := fmt.Sprintf("  host=%s pid=%d %s %s", man.Hostname, man.PID, man.GoVersion, man.Platform)
+	if man.Revision != "" {
+		rev := man.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		id += " rev=" + rev
+	}
+	if man.Uptime != "" {
+		id += " uptime=" + man.Uptime
+	}
+	fmt.Fprintln(w, id)
+
+	if data := b.File(TriggerName); data != nil {
+		var t sumTrigger
+		if err := json.Unmarshal(data, &t); err != nil {
+			return fmt.Errorf("%s: %w", TriggerName, err)
+		}
+		fmt.Fprintf(w, "\nTRIGGER  %s: %s\n", t.Rule, t.Evidence)
+	} else if man.Evidence != "" {
+		fmt.Fprintf(w, "\nTRIGGER  %s\n", man.Evidence)
+	}
+
+	if data := b.File(HealthName); data != nil {
+		var h sumHealth
+		if err := json.Unmarshal(data, &h); err != nil {
+			return fmt.Errorf("%s: %w", HealthName, err)
+		}
+		verdict := "READY"
+		if !h.Ready {
+			verdict = "NOT READY"
+		}
+		fmt.Fprintf(w, "\nHEALTH   %s (%d checks)\n", verdict, len(h.Checks))
+		for _, name := range sortedKeys(h.Checks) {
+			if c := h.Checks[name]; !c.OK {
+				fmt.Fprintf(w, "  FAIL %s: %s\n", name, c.Detail)
+			}
+		}
+	}
+
+	if data := b.File(MeshName); data != nil {
+		var m sumMesh
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("%s: %w", MeshName, err)
+		}
+		fmt.Fprintf(w, "\nMESH     round=%d feeds=%d/%d healthy poison=%.2f degraded=%v\n",
+			m.Round, m.HealthyFeeds, m.TotalFeeds, m.PoisonFrac, m.Degraded)
+		for _, f := range m.Feeds {
+			if f.State == 0 {
+				continue
+			}
+			line := fmt.Sprintf("  %s %s", meshStateName(f.State), f.Name)
+			if f.LastError != "" {
+				line += ": " + f.LastError
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+
+	if data := b.File(MetricsJSONName); data != nil {
+		var m sumMetrics
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("%s: %w", MetricsJSONName, err)
+		}
+		var lines []string
+		for _, mm := range m.Metrics {
+			switch {
+			case strings.HasPrefix(mm.Name, "unclean_runtime_") && mm.Value != nil:
+				lines = append(lines, fmt.Sprintf("  %s%s = %d",
+					mm.Name, labelSuffix(mm.Labels), *mm.Value))
+			case len(mm.BurnRate) > 0:
+				var parts []string
+				for _, win := range sortedKeys(mm.BurnRate) {
+					parts = append(parts, fmt.Sprintf("%s=%.2f", win, mm.BurnRate[win]))
+				}
+				lines = append(lines, fmt.Sprintf("  %s burn %s",
+					mm.Name, strings.Join(parts, " ")))
+			case strings.HasPrefix(mm.Name, "unclean_watchdog_") && mm.Value != nil && *mm.Value > 0:
+				lines = append(lines, fmt.Sprintf("  %s%s = %d",
+					mm.Name, labelSuffix(mm.Labels), *mm.Value))
+			}
+		}
+		fmt.Fprintf(w, "\nMETRICS  %d series; highlights:\n", len(m.Metrics))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+
+	if data := b.File(FlightName); data != nil {
+		var f sumFlight
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s: %w", FlightName, err)
+		}
+		fmt.Fprintf(w, "\nFLIGHT   %d recorded, %d in ring, %d kept (errors/outliers); last kept:\n",
+			f.Recorded, len(f.Events), len(f.Kept))
+		kept := f.Kept
+		const tail = 8
+		if len(kept) > tail {
+			kept = kept[len(kept)-tail:]
+		}
+		for _, ev := range kept {
+			line := fmt.Sprintf("  %s %s %s", ev.Time, ev.Kind, ev.Verdict)
+			if ev.Name != "" {
+				line += " " + ev.Name
+			}
+			if ev.Detail != "" {
+				line += ": " + ev.Detail
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+
+	if names := b.ProfileNames(); len(names) > 0 {
+		fmt.Fprintf(w, "\nPROFILES %d retained:\n", len(names))
+		for _, name := range names {
+			data := b.Files[name]
+			state := "ok"
+			if len(data) < 2 || data[0] != gzipMagic[0] || data[1] != gzipMagic[1] {
+				state = "NOT A PPROF GZIP"
+			}
+			fmt.Fprintf(w, "  %-28s %6d bytes  %s\n", strings.TrimPrefix(name, ProfileDir), len(data), state)
+		}
+	}
+
+	var failed []string
+	for _, fe := range man.Files {
+		if strings.HasPrefix(fe.Note, "FAILED:") {
+			failed = append(failed, fe.Name+" ("+fe.Note+")")
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(w, "\nDEGRADED members that failed at capture time: %s\n",
+			strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+// sortedKeys returns a map's keys in order — summaries must render
+// deterministically (golden tests diff them byte for byte).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// labelSuffix renders {k=v,...} for a metric's labels ("" when none).
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, k := range sortedKeys(labels) {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

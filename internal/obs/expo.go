@@ -19,6 +19,9 @@ import (
 // a base name (same series, different labels) are grouped under one
 // HELP/TYPE header.
 func WriteText(w io.Writer, regs ...*Registry) error {
+	for _, r := range regs {
+		r.runScrapeHooks()
+	}
 	lastName := ""
 	for _, m := range merged(regs) {
 		first := m.Name != lastName
@@ -225,6 +228,9 @@ type jsonWindow struct {
 // WriteJSON renders the metrics of regs as a JSON document:
 // {"metrics":[...]} with histogram quantiles precomputed.
 func WriteJSON(w io.Writer, regs ...*Registry) error {
+	for _, r := range regs {
+		r.runScrapeHooks()
+	}
 	metrics := merged(regs)
 	out := struct {
 		Metrics []jsonMetric `json:"metrics"`

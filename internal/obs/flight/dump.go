@@ -1,8 +1,10 @@
 package flight
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -46,9 +48,11 @@ func (r *Recorder) DumpPath() string {
 	return ""
 }
 
-// DumpTo persists both rings (all events, no filter) to path as a JSON
-// document via atomicfile — crash-safe and CRC-trailed.
-func (r *Recorder) DumpTo(path, reason string) error {
+// EncodeDump renders both rings (all events, no filter) as the JSON
+// dump document — the same bytes DumpTo persists, available in memory
+// so a diagnostics bundle can embed the flight dump without touching
+// disk.
+func (r *Recorder) EncodeDump(w io.Writer, reason string) error {
 	evs := r.Snapshot(Filter{})
 	kept := r.Snapshot(Filter{Kept: true})
 	doc := eventsDoc{
@@ -64,11 +68,22 @@ func (r *Recorder) DumpTo(path, reason string) error {
 	for i := range kept {
 		doc.Kept = append(doc.Kept, toWire(&kept[i]))
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("flight: %w", err)
 	}
-	return atomicfile.WriteFile(path, append(data, '\n'))
+	return nil
+}
+
+// DumpTo persists both rings (all events, no filter) to path as a JSON
+// document via atomicfile — crash-safe and CRC-trailed.
+func (r *Recorder) DumpTo(path, reason string) error {
+	var buf bytes.Buffer
+	if err := r.EncodeDump(&buf, reason); err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(path, buf.Bytes())
 }
 
 // Dump persists the ring to the configured dump path; with none set it

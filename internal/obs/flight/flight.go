@@ -44,12 +44,13 @@ const (
 	KindServer                 // daemon lifecycle: start, reload, stop, crash
 	KindMesh                   // a feed-mesh merge round or quarantine transition
 	KindAnalytics              // an analytics scoreboard sweep against a list swap
+	KindWatchdog               // an anomaly-watchdog rule trigger or suppression
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"query", "feed_load", "checkpoint", "breaker", "experiment", "server", "mesh",
-	"analytics",
+	"analytics", "watchdog",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Process-level memory accounting. The Go runtime knows its own heap,
+// but the number an operator (and the OOM killer) cares about is the
+// kernel's: resident set size and its high-water mark. Both live in
+// /proc/self/status, and both the watchdog's RSS-growth rules and the
+// `uncleanctl bench` progress line read them through this one helper.
+
+// ProcMem is a point-in-time read of the kernel's memory accounting for
+// this process.
+type ProcMem struct {
+	// RSS is the current resident set size (VmRSS) in bytes.
+	RSS int64
+	// Peak is the peak resident set size (VmHWM) in bytes.
+	Peak int64
+}
+
+// ReadProcMem reads VmRSS and VmHWM from /proc/self/status. ok is false
+// where the proc file does not exist (non-Linux) or cannot be parsed;
+// callers degrade by omitting the numbers rather than failing.
+func ReadProcMem() (ProcMem, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return ProcMem{}, false
+	}
+	var m ProcMem
+	seen := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		var dst *int64
+		switch {
+		case strings.HasPrefix(line, "VmRSS:"):
+			dst = &m.RSS
+		case strings.HasPrefix(line, "VmHWM:"):
+			dst = &m.Peak
+		default:
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		*dst = kb << 10
+		seen++
+	}
+	return m, seen > 0
+}

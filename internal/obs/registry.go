@@ -138,6 +138,7 @@ func escapeLabel(v string) string {
 type Registry struct {
 	mu    sync.Mutex
 	byKey map[string]*Metric
+	hooks []func()
 }
 
 // NewRegistry builds an empty registry.
@@ -300,6 +301,30 @@ func canonicalLabels(labels []string) []string {
 		}
 	}
 	return out
+}
+
+// OnScrape registers a hook the exposition formats run before reading
+// the registry — the place a sampled metric source (the runtime/metrics
+// gauges, a /proc reader) refreshes its gauges so every scrape sees
+// current values without a background poller. Hooks must be cheap, safe
+// for concurrent use, and never block: they run on the scrape path.
+func (r *Registry) OnScrape(fn func()) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// runScrapeHooks runs the registered hooks outside the registry lock.
+func (r *Registry) runScrapeHooks() {
+	r.mu.Lock()
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Metrics returns the registered metrics sorted by full series name —

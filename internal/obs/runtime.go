@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"runtime/metrics"
+)
+
+// Runtime gauges. The watchdog's slope rules ("goroutines growing",
+// "heap approaching its goal") and a Prometheus scrape must agree on
+// what the runtime looks like, so both read the same gauges: a
+// RuntimeStats samples the runtime/metrics interface on demand —
+// Update() from a watchdog tick, an OnScrape hook from the exposition
+// path — and publishes the results into ordinary registry gauges.
+// Sampling is a handful of atomic reads inside the runtime (a few
+// microseconds); there is no background goroutine.
+
+// The runtime/metrics samples RuntimeStats reads, in sample-slice order.
+const (
+	sampleGoroutines = iota
+	sampleGCPauses
+	sampleHeapLive
+	sampleHeapGoal
+	sampleGomaxprocs
+	numRuntimeSamples
+)
+
+// RuntimeStats publishes runtime/metrics readings (plus the kernel's
+// RSS) as registry gauges. Construct with RegisterRuntimeGauges; all
+// methods are safe for concurrent use.
+type RuntimeStats struct {
+	gGoroutines *Gauge
+	gGCPauseP99 *Gauge
+	gHeapLive   *Gauge
+	gHeapGoal   *Gauge
+	gGomaxprocs *Gauge
+	gRSS        *Gauge
+}
+
+// RegisterRuntimeGauges registers the unclean_runtime_* gauges in r and
+// hooks their refresh into r's scrape path, so /metrics always exposes
+// current values. Call once per registry; the returned RuntimeStats is
+// the handle a watchdog uses to refresh and read the same gauges
+// between scrapes.
+func RegisterRuntimeGauges(r *Registry) *RuntimeStats {
+	s := &RuntimeStats{
+		gGoroutines: r.Gauge("unclean_runtime_goroutines", "Live goroutines."),
+		gGCPauseP99: r.Gauge("unclean_runtime_gc_pause_p99_ns", "p99 stop-the-world GC pause (nanoseconds, process lifetime)."),
+		gHeapLive:   r.Gauge("unclean_runtime_heap_live_bytes", "Bytes of live heap objects (runtime/metrics heap/objects)."),
+		gHeapGoal:   r.Gauge("unclean_runtime_heap_goal_bytes", "The GC's next heap size goal."),
+		gGomaxprocs: r.Gauge("unclean_runtime_gomaxprocs", "GOMAXPROCS."),
+		gRSS:        r.Gauge("unclean_runtime_rss_bytes", "Kernel resident set size (VmRSS; 0 where /proc is unavailable)."),
+	}
+	s.Update()
+	r.OnScrape(s.Update)
+	return s
+}
+
+// newRuntimeSamples builds the sample slice Update reads. A fresh slice
+// per Update keeps RuntimeStats lock-free; the slice is five entries.
+func newRuntimeSamples() []metrics.Sample {
+	s := make([]metrics.Sample, numRuntimeSamples)
+	s[sampleGoroutines].Name = "/sched/goroutines:goroutines"
+	s[sampleGCPauses].Name = "/gc/pauses:seconds"
+	s[sampleHeapLive].Name = "/memory/classes/heap/objects:bytes"
+	s[sampleHeapGoal].Name = "/gc/heap/goal:bytes"
+	s[sampleGomaxprocs].Name = "/sched/gomaxprocs:threads"
+	return s
+}
+
+// Update samples the runtime and refreshes the gauges. Safe to call
+// from any goroutine at any rate; the registry sees whichever write
+// lands last.
+func (s *RuntimeStats) Update() {
+	samples := newRuntimeSamples()
+	metrics.Read(samples)
+	s.gGoroutines.Set(sampleInt(&samples[sampleGoroutines]))
+	s.gHeapLive.Set(sampleInt(&samples[sampleHeapLive]))
+	s.gHeapGoal.Set(sampleInt(&samples[sampleHeapGoal]))
+	s.gGomaxprocs.Set(sampleInt(&samples[sampleGomaxprocs]))
+	if h := samples[sampleGCPauses].Value; h.Kind() == metrics.KindFloat64Histogram {
+		s.gGCPauseP99.Set(int64(histQuantile(h.Float64Histogram(), 0.99) * 1e9))
+	}
+	if pm, ok := ReadProcMem(); ok {
+		s.gRSS.Set(pm.RSS)
+	}
+}
+
+// Goroutines returns the last sampled goroutine count.
+func (s *RuntimeStats) Goroutines() int64 { return s.gGoroutines.Value() }
+
+// HeapLiveBytes returns the last sampled live-heap size.
+func (s *RuntimeStats) HeapLiveBytes() int64 { return s.gHeapLive.Value() }
+
+// RSSBytes returns the last sampled kernel RSS (0 where unavailable).
+func (s *RuntimeStats) RSSBytes() int64 { return s.gRSS.Value() }
+
+// sampleInt extracts an integer reading from a runtime/metrics sample,
+// 0 for kinds it does not understand (a metric renamed in a future
+// runtime degrades to zero, never a panic).
+func sampleInt(s *metrics.Sample) int64 {
+	if s.Value.Kind() == metrics.KindUint64 {
+		return int64(s.Value.Uint64())
+	}
+	return 0
+}
+
+// histQuantile computes the q-quantile of a runtime/metrics histogram
+// (bucket lower edge of the matched bucket — pessimistic by at most one
+// bucket, and the runtime's pause buckets are fine-grained).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i] is the lower edge of Counts[i]; the first edge
+			// can be -Inf.
+			edge := h.Buckets[i]
+			if edge < 0 {
+				return 0
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

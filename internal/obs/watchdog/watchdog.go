@@ -1,0 +1,438 @@
+// Package watchdog is the anomaly watchdog: a small rule engine that
+// evaluates declarative rules over the daemon's existing signals — SLO
+// burn rates, shed fraction, breaker trips, goroutine/RSS growth,
+// feed-mesh quarantines — and fires a trigger (typically: capture a
+// diagnostics bundle) when a rule's condition holds. The paper's
+// predictor only pays off while the serving path stays up; the watchdog
+// is the layer that notices it degrading and grabs the evidence while
+// it is still fresh.
+//
+// Anti-flap discipline is built in, because an automated capture that
+// fires on every tick of a noisy signal is worse than none:
+//
+//   - hold: a rule must breach for N consecutive ticks before firing
+//     (a one-tick spike is noise, not an incident);
+//   - cooldown: once fired, a rule stays quiet for its cooldown window
+//     even if the condition persists — at most one capture per window;
+//   - global rate limit: across all rules, at most MaxTriggers fire per
+//     RatePeriod; the excess is counted and logged, not captured.
+//
+// Rules are declarative and parseable from flag strings — see ParseRule
+// for the syntax — so operators can tune thresholds without a rebuild.
+package watchdog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
+)
+
+// Signal is one named reading the rules evaluate: a shed rate, a burn
+// rate, a goroutine count. Signals must be cheap and safe for
+// concurrent use; they run on every tick.
+type Signal func() float64
+
+// Op is a rule's comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	OpGT Op = iota // strictly greater
+	OpLT           // strictly less
+	OpGE
+	OpLE
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGT:
+		return ">"
+	case OpLT:
+		return "<"
+	case OpGE:
+		return ">="
+	case OpLE:
+		return "<="
+	}
+	return "?"
+}
+
+func (o Op) compare(v, threshold float64) bool {
+	switch o {
+	case OpGT:
+		return v > threshold
+	case OpLT:
+		return v < threshold
+	case OpGE:
+		return v >= threshold
+	case OpLE:
+		return v <= threshold
+	}
+	return false
+}
+
+// Rule is one declarative condition over a named signal.
+type Rule struct {
+	// Name labels the rule in metrics, logs, flight events, and bundle
+	// manifests.
+	Name string
+	// Signal names the registered signal the rule reads.
+	Signal string
+	// Op compares the evaluated value against Threshold.
+	Op Op
+	// Threshold is the boundary value.
+	Threshold float64
+	// Window, when > 0, makes the rule a slope rule: the evaluated
+	// value is the signal's growth over the last Window ticks
+	// (current − value Window ticks ago) instead of its instantaneous
+	// reading. Monotonic counters become "did it move"; gauges become
+	// growth detectors.
+	Window int
+	// Hold is how many consecutive breaching ticks arm the trigger
+	// (default 1 — fire on first breach).
+	Hold int
+	// Cooldown is the minimum time between fires of this rule
+	// (default 5m).
+	Cooldown time.Duration
+}
+
+// withDefaults applies the documented defaults.
+func (r Rule) withDefaults() Rule {
+	if r.Hold <= 0 {
+		r.Hold = 1
+	}
+	if r.Cooldown <= 0 {
+		r.Cooldown = 5 * time.Minute
+	}
+	return r
+}
+
+// String renders the rule in the ParseRule syntax.
+func (r Rule) String() string {
+	s := fmt.Sprintf("%s: %s %s %g", r.Name, r.Signal, r.Op, r.Threshold)
+	if r.Window > 0 {
+		s += fmt.Sprintf(" over=%d", r.Window)
+	}
+	if r.Hold > 1 {
+		s += fmt.Sprintf(" hold=%d", r.Hold)
+	}
+	if r.Cooldown > 0 {
+		s += fmt.Sprintf(" cooldown=%s", r.Cooldown)
+	}
+	return s
+}
+
+// Trigger is one fired rule: everything a capture needs to explain
+// itself later.
+type Trigger struct {
+	// Rule is the firing rule's name.
+	Rule string `json:"rule"`
+	// Signal is the signal the rule watched.
+	Signal string `json:"signal"`
+	// Value is the evaluated value at fire time (growth for slope
+	// rules).
+	Value float64 `json:"value"`
+	// Threshold and Op restate the breached condition.
+	Threshold float64 `json:"threshold"`
+	Op        string  `json:"op"`
+	// Held is how many consecutive ticks the condition had breached.
+	Held int `json:"held"`
+	// At is the fire time.
+	At time.Time `json:"at"`
+	// Evidence is the one-line human rendering ("shed_frac_1m=0.42 >
+	// 0.2, held 3 ticks").
+	Evidence string `json:"evidence"`
+}
+
+// Config tunes the watchdog.
+type Config struct {
+	// MaxTriggers caps fires across all rules per RatePeriod
+	// (default 4).
+	MaxTriggers int
+	// RatePeriod is the global rate-limit horizon (default 1h).
+	RatePeriod time.Duration
+	// OnTrigger runs for each non-suppressed fire (typically: capture a
+	// bundle). It runs synchronously inside Tick; heavy work should
+	// hand off.
+	OnTrigger func(Trigger)
+	// Now injects a clock (tests); nil = time.Now.
+	Now func() time.Time
+	// Registry receives the watchdog's metrics (nil = obs.Default()).
+	Registry *obs.Registry
+	// Flight receives a wide event per trigger and suppression
+	// (nil = flight.Default()).
+	Flight *flight.Recorder
+}
+
+// ruleState is a rule plus its evaluation state.
+type ruleState struct {
+	rule     Rule
+	history  []float64 // last Window+1 raw readings, oldest first
+	streak   int       // consecutive breaching ticks
+	lastFire time.Time
+	triggers *obs.Counter
+}
+
+// Watchdog evaluates rules over registered signals. Construct with
+// New; Tick and the registration methods are safe for concurrent use.
+type Watchdog struct {
+	cfg Config
+
+	mu      sync.Mutex
+	signals map[string]Signal
+	rules   []*ruleState
+	fires   []time.Time // non-suppressed fire times inside RatePeriod
+
+	mTicks      *obs.Counter
+	mSuppressed *obs.Counter
+	mErrors     *obs.Counter
+	gLastUnix   *obs.Gauge
+
+	now    func() time.Time
+	events *flight.Recorder
+	log    interface {
+		Warn(msg string, args ...any)
+		Error(msg string, args ...any)
+	}
+}
+
+// New builds a watchdog with no rules or signals.
+func New(cfg Config) *Watchdog {
+	if cfg.MaxTriggers <= 0 {
+		cfg.MaxTriggers = 4
+	}
+	if cfg.RatePeriod <= 0 {
+		cfg.RatePeriod = time.Hour
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Flight == nil {
+		cfg.Flight = flight.Default()
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Watchdog{
+		cfg:     cfg,
+		signals: make(map[string]Signal),
+		mTicks: cfg.Registry.Counter("unclean_watchdog_ticks_total",
+			"Watchdog evaluation ticks."),
+		mSuppressed: cfg.Registry.Counter("unclean_watchdog_suppressed_total",
+			"Rule fires dropped by the global rate limit."),
+		mErrors: cfg.Registry.Counter("unclean_watchdog_errors_total",
+			"Rule evaluations skipped (unknown signal, NaN reading)."),
+		gLastUnix: cfg.Registry.Gauge("unclean_watchdog_last_trigger_unix",
+			"Unix time of the last non-suppressed trigger."),
+		now:    now,
+		events: cfg.Flight,
+		log:    obs.Logger("watchdog"),
+	}
+}
+
+// RegisterSignal makes fn readable by rules under name, replacing any
+// previous registration. The parameter is spelled as a plain func type
+// (not the Signal alias) so RegisterSignal itself satisfies the
+// func-typed register parameter of dnsbl.Server.WatchSignals and
+// feedmesh.Mesh.WatchSignals — wiring a component is one line.
+func (w *Watchdog) RegisterSignal(name string, fn func() float64) {
+	if name == "" || fn == nil {
+		return
+	}
+	w.mu.Lock()
+	w.signals[name] = fn
+	w.mu.Unlock()
+}
+
+// SignalNames lists the registered signals, sorted — the vocabulary
+// ParseRule accepts, rendered into error messages and docs.
+func (w *Watchdog) SignalNames() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.signals))
+	for n := range w.signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddRule installs a rule, replacing an existing rule of the same name
+// (so a -watch flag can override a built-in default). The signal need
+// not be registered yet; an unknown signal at tick time counts an
+// evaluation error instead.
+func (w *Watchdog) AddRule(r Rule) error {
+	if r.Name == "" || r.Signal == "" {
+		return fmt.Errorf("watchdog: rule needs a name and a signal: %q", r.String())
+	}
+	if math.IsNaN(r.Threshold) || math.IsInf(r.Threshold, 0) {
+		return fmt.Errorf("watchdog: rule %s: threshold must be finite", r.Name)
+	}
+	if r.Window < 0 || r.Hold < 0 || r.Cooldown < 0 {
+		return fmt.Errorf("watchdog: rule %s: over/hold/cooldown must be >= 0", r.Name)
+	}
+	r = r.withDefaults()
+	st := &ruleState{
+		rule: r,
+		triggers: w.cfg.Registry.Counter("unclean_watchdog_triggers_total",
+			"Rule triggers (post-hold, pre-rate-limit).", "rule", r.Name),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, old := range w.rules {
+		if old.rule.Name == r.Name {
+			w.rules[i] = st
+			return nil
+		}
+	}
+	w.rules = append(w.rules, st)
+	return nil
+}
+
+// Rules returns the installed rules in installation order.
+func (w *Watchdog) Rules() []Rule {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Rule, len(w.rules))
+	for i, st := range w.rules {
+		out[i] = st.rule
+	}
+	return out
+}
+
+// Tick evaluates every rule once and returns the non-suppressed
+// triggers (already delivered to OnTrigger). Call it on a fixed
+// interval — rule Hold and Window counts are measured in ticks.
+func (w *Watchdog) Tick() []Trigger {
+	w.mu.Lock()
+	now := w.now()
+	type pending struct {
+		st   *ruleState
+		trig Trigger
+	}
+	var fired []pending
+	for _, st := range w.rules {
+		fn := w.signals[st.rule.Signal]
+		if fn == nil {
+			w.mErrors.Inc()
+			continue
+		}
+		raw := fn()
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			w.mErrors.Inc()
+			continue
+		}
+		value, ok := st.evaluate(raw)
+		if !ok {
+			continue // slope rule still warming its history
+		}
+		if !st.rule.Op.compare(value, st.rule.Threshold) {
+			st.streak = 0
+			continue
+		}
+		st.streak++
+		if st.streak < st.rule.Hold {
+			continue
+		}
+		if !st.lastFire.IsZero() && now.Sub(st.lastFire) < st.rule.Cooldown {
+			continue // in cooldown: at most one fire per window
+		}
+		st.triggers.Inc()
+		fired = append(fired, pending{st, Trigger{
+			Rule:      st.rule.Name,
+			Signal:    st.rule.Signal,
+			Value:     value,
+			Threshold: st.rule.Threshold,
+			Op:        st.rule.Op.String(),
+			Held:      st.streak,
+			At:        now,
+			Evidence: fmt.Sprintf("%s=%g %s %g, held %d tick(s)",
+				st.rule.Signal, value, st.rule.Op, st.rule.Threshold, st.streak),
+		}})
+	}
+
+	// Global rate limit: drop the oldest budget entries that have aged
+	// out, then admit fires until the budget is spent.
+	keep := w.fires[:0]
+	for _, t := range w.fires {
+		if now.Sub(t) < w.cfg.RatePeriod {
+			keep = append(keep, t)
+		}
+	}
+	w.fires = keep
+	var out []Trigger
+	var suppressed []Trigger
+	for _, p := range fired {
+		if len(w.fires) >= w.cfg.MaxTriggers {
+			suppressed = append(suppressed, p.trig)
+			continue
+		}
+		// The per-rule cooldown starts only on an admitted fire, so a
+		// suppressed rule retries as soon as the global budget frees.
+		p.st.lastFire = now
+		w.fires = append(w.fires, now)
+		out = append(out, p.trig)
+	}
+	w.mu.Unlock()
+
+	w.mTicks.Inc()
+	for _, trig := range suppressed {
+		w.mSuppressed.Inc()
+		w.log.Warn("trigger suppressed by global rate limit",
+			"rule", trig.Rule, "evidence", trig.Evidence)
+		w.events.Record(flight.Event{
+			Kind: flight.KindWatchdog, Verdict: "suppressed",
+			Name: trig.Rule, Detail: trig.Evidence,
+		})
+	}
+	for _, trig := range out {
+		w.gLastUnix.Set(trig.At.Unix())
+		w.log.Warn("watchdog trigger", "rule", trig.Rule, "evidence", trig.Evidence)
+		w.events.Record(flight.Event{
+			Kind: flight.KindWatchdog, Verdict: "trigger", Flags: flight.FlagErr,
+			Name: trig.Rule, Detail: trig.Evidence, Value: int64(trig.Value),
+		})
+		if w.cfg.OnTrigger != nil {
+			w.cfg.OnTrigger(trig)
+		}
+	}
+	return out
+}
+
+// evaluate computes the rule's value from the raw reading: the reading
+// itself, or (for slope rules) the growth over the history window. ok
+// is false while a slope rule's history is still shorter than its
+// window.
+func (st *ruleState) evaluate(raw float64) (float64, bool) {
+	if st.rule.Window <= 0 {
+		return raw, true
+	}
+	st.history = append(st.history, raw)
+	if len(st.history) > st.rule.Window+1 {
+		st.history = st.history[1:]
+	}
+	if len(st.history) < st.rule.Window+1 {
+		return 0, false
+	}
+	return raw - st.history[0], true
+}
+
+// Run ticks the watchdog at interval until ctx is done.
+func (w *Watchdog) Run(ctx interface{ Done() <-chan struct{} }, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.Tick()
+		}
+	}
+}

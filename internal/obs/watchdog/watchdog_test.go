@@ -1,0 +1,206 @@
+package watchdog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unclean/internal/obs"
+	"unclean/internal/obs/flight"
+)
+
+// harness is a watchdog under a fake clock with one controllable
+// signal, plus the trigger log the assertions read.
+type harness struct {
+	wd    *Watchdog
+	now   time.Time
+	value float64
+	fired []Trigger
+}
+
+func newHarness(t *testing.T, cfg Config, rules ...Rule) *harness {
+	t.Helper()
+	h := &harness{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+	cfg.Now = func() time.Time { return h.now }
+	cfg.Registry = obs.NewRegistry()
+	cfg.Flight = flight.New(64)
+	prev := cfg.OnTrigger
+	cfg.OnTrigger = func(tr Trigger) {
+		h.fired = append(h.fired, tr)
+		if prev != nil {
+			prev(tr)
+		}
+	}
+	h.wd = New(cfg)
+	h.wd.RegisterSignal("sig", func() float64 { return h.value })
+	for _, r := range rules {
+		if err := h.wd.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// tick advances the fake clock by the nominal tick interval and runs
+// one evaluation.
+func (h *harness) tick() []Trigger {
+	h.now = h.now.Add(10 * time.Second)
+	return h.wd.Tick()
+}
+
+func TestHoldHysteresisPreventsFlapping(t *testing.T) {
+	h := newHarness(t, Config{},
+		Rule{Name: "r", Signal: "sig", Op: OpGT, Threshold: 1, Hold: 3, Cooldown: time.Minute})
+
+	// Two breaching ticks, then a clean one: the streak resets, no fire.
+	h.value = 2
+	h.tick()
+	h.tick()
+	h.value = 0
+	h.tick()
+	h.value = 2
+	h.tick()
+	h.tick()
+	if len(h.fired) != 0 {
+		t.Fatalf("fired %d times on a flapping signal, want 0 (hold=3)", len(h.fired))
+	}
+	// The third consecutive breach arms it.
+	h.tick()
+	if len(h.fired) != 1 {
+		t.Fatalf("fired %d times after 3 consecutive breaches, want 1", len(h.fired))
+	}
+	tr := h.fired[0]
+	if tr.Rule != "r" || tr.Held != 3 || tr.Value != 2 {
+		t.Fatalf("trigger = %+v, want rule=r held=3 value=2", tr)
+	}
+	if !strings.Contains(tr.Evidence, "sig=2 > 1") {
+		t.Fatalf("evidence %q lacks the breached condition", tr.Evidence)
+	}
+}
+
+func TestCooldownFiresOncePerWindow(t *testing.T) {
+	h := newHarness(t, Config{},
+		Rule{Name: "r", Signal: "sig", Op: OpGT, Threshold: 1, Cooldown: time.Minute})
+	h.value = 5
+	// 12 ticks × 10s = two minutes of sustained breach.
+	for i := 0; i < 12; i++ {
+		h.tick()
+	}
+	if len(h.fired) != 2 {
+		t.Fatalf("fired %d times over 2 cooldown windows, want 2", len(h.fired))
+	}
+	if gap := h.fired[1].At.Sub(h.fired[0].At); gap < time.Minute {
+		t.Fatalf("fires %s apart, want >= the 1m cooldown", gap)
+	}
+}
+
+func TestGlobalRateLimitSuppresses(t *testing.T) {
+	cfg := Config{MaxTriggers: 2, RatePeriod: time.Hour}
+	h := newHarness(t, cfg,
+		Rule{Name: "a", Signal: "sig", Op: OpGT, Threshold: 1, Cooldown: 24 * time.Hour},
+		Rule{Name: "b", Signal: "sig", Op: OpGT, Threshold: 1, Cooldown: 24 * time.Hour},
+		Rule{Name: "c", Signal: "sig", Op: OpGT, Threshold: 1, Cooldown: 24 * time.Hour})
+	h.value = 5
+	out := h.tick()
+	if len(out) != 2 || len(h.fired) != 2 {
+		t.Fatalf("admitted %d triggers with MaxTriggers=2, want 2", len(out))
+	}
+	// The suppressed rule took no cooldown: it retries once budget
+	// frees. Advance past the rate period.
+	h.now = h.now.Add(2 * time.Hour)
+	out = h.tick()
+	if len(out) != 1 || out[0].Rule != "c" {
+		t.Fatalf("after budget reset got %v, want the suppressed rule c", out)
+	}
+}
+
+func TestSlopeRuleMeasuresGrowth(t *testing.T) {
+	h := newHarness(t, Config{},
+		Rule{Name: "grow", Signal: "sig", Op: OpGT, Threshold: 50, Window: 3, Cooldown: time.Minute})
+	// Warmup: a slope rule stays silent until it has Window+1 readings,
+	// however large the absolute value.
+	h.value = 1000
+	for i := 0; i < 3; i++ {
+		if out := h.tick(); len(out) != 0 {
+			t.Fatalf("slope rule fired during warmup tick %d", i+1)
+		}
+	}
+	// Flat signal: growth 0, no fire.
+	h.tick()
+	if len(h.fired) != 0 {
+		t.Fatal("slope rule fired on a flat signal")
+	}
+	// +60 over the window.
+	h.value = 1060
+	h.tick()
+	if len(h.fired) != 1 {
+		t.Fatalf("fired %d times on +60 growth (threshold 50), want 1", len(h.fired))
+	}
+	if got := h.fired[0].Value; got != 60 {
+		t.Fatalf("slope trigger value %g, want the growth 60, not the raw reading", got)
+	}
+}
+
+func TestUnknownSignalCountsErrorNotPanic(t *testing.T) {
+	h := newHarness(t, Config{},
+		Rule{Name: "ghost", Signal: "no_such_signal", Op: OpGT, Threshold: 1})
+	h.tick()
+	if len(h.fired) != 0 {
+		t.Fatal("rule over an unregistered signal fired")
+	}
+}
+
+func TestAddRuleReplacesByName(t *testing.T) {
+	h := newHarness(t, Config{},
+		Rule{Name: "r", Signal: "sig", Op: OpGT, Threshold: 100})
+	// Override with a lower threshold, as a -watch flag would.
+	if err := h.wd.AddRule(Rule{Name: "r", Signal: "sig", Op: OpGT, Threshold: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(h.wd.Rules()); n != 1 {
+		t.Fatalf("%d rules after same-name AddRule, want 1", n)
+	}
+	h.value = 50
+	h.tick()
+	if len(h.fired) != 1 {
+		t.Fatal("replacement rule did not fire")
+	}
+}
+
+func TestParseRuleRoundTrip(t *testing.T) {
+	cases := []string{
+		"shed: dnsbl_shed_frac_1m > 0.2 hold=3 cooldown=10m0s",
+		"grow: runtime_goroutines >= 500 over=30 hold=3 cooldown=15m0s",
+		"low: sig < 1 cooldown=5m0s",
+		"le: sig <= 0.5 cooldown=1h0m0s",
+	}
+	for _, in := range cases {
+		r, err := ParseRule(in)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", in, err)
+		}
+		if got := r.String(); got != in {
+			t.Fatalf("round trip %q -> %q", in, got)
+		}
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"",                        // no colon
+		"noname sig > 1",          // no colon
+		": sig > 1",               // empty name
+		"r: sig",                  // missing op+value
+		"r: sig ~ 1",              // bad op
+		"r: sig > banana",         // bad threshold
+		"r: sig > 1 over=0",       // zero window
+		"r: sig > 1 hold=-2",      // negative hold
+		"r: sig > 1 cooldown=xyz", // bad duration
+		"r: sig > 1 flavor=mint",  // unknown option
+	}
+	for _, in := range bad {
+		if _, err := ParseRule(in); err == nil {
+			t.Errorf("ParseRule(%q) accepted, want error", in)
+		}
+	}
+}
